@@ -1,0 +1,47 @@
+"""A1-A5 — ablations of this implementation's design choices."""
+
+import pytest
+from conftest import save_table
+
+from repro.experiments import ablations
+
+
+def test_regenerate_ablation_granularity(benchmark, results_dir):
+    table = benchmark.pedantic(ablations.run_granularity, rounds=1, iterations=1)
+    save_table(results_dir, "ablation_a1_granularity", table)
+    by_case = {r["case"]: r for r in table.rows}
+    # orthogonal tilings punish slice granularity; aligned ones do not
+    assert by_case["case4"]["slice/intersection"] > 1.5
+    assert by_case["case1"]["slice/intersection"] == pytest.approx(1.0, abs=0.02)
+
+
+def test_regenerate_ablation_chunks(benchmark, results_dir):
+    table = benchmark.pedantic(ablations.run_chunks, rounds=1, iterations=1)
+    save_table(results_dir, "ablation_a2_chunks", table)
+    lat = table.column("latency (s)")
+    assert lat == sorted(lat, reverse=True)  # monotone in K
+    assert lat[0] / lat[-1] > 2.0
+
+
+def test_regenerate_ablation_gating(benchmark, results_dir):
+    table = benchmark.pedantic(ablations.run_gating, rounds=1, iterations=1)
+    save_table(results_dir, "ablation_a3_gating", table)
+    for r in table.rows:
+        assert 0.9 < r["ungated/gated"] < 1.2
+
+
+def test_regenerate_ablation_eagerness(benchmark, results_dir):
+    table = benchmark.pedantic(ablations.run_eagerness, rounds=1, iterations=1)
+    save_table(results_dir, "ablation_a4_eagerness", table)
+    rows = table.rows
+    assert rows[1]["iteration (s)"] < rows[0]["iteration (s)"]  # eager helps
+    # deeper eagerness: no time gain, memory grows
+    assert rows[2]["iteration (s)"] == pytest.approx(rows[1]["iteration (s)"], rel=0.02)
+    assert rows[3]["peak act stage0"] > rows[1]["peak act stage0"]
+
+
+def test_regenerate_ablation_weight_delay(benchmark, results_dir):
+    table = benchmark.pedantic(ablations.run_weight_delay, rounds=1, iterations=1)
+    save_table(results_dir, "ablation_a5_weight_delay", table)
+    rows = table.rows
+    assert rows[1]["iteration (s)"] <= rows[0]["iteration (s)"] + 1e-9

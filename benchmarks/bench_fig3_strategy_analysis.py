@@ -1,0 +1,28 @@
+"""E7 — regenerate the §3.1 / Figure 3 strategy-latency analysis."""
+
+import pytest
+from conftest import save_table
+
+from repro.experiments import fig3
+from repro.sim.cluster import GB
+
+
+def test_regenerate_fig3(benchmark, results_dir):
+    table = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    save_table(results_dir, "fig3_strategy_analysis", table)
+    for row in table.rows:
+        if row["strategy"] == "global_allgather":
+            assert row["simulated (s)"] <= row["analytic (s)"] * 1.05
+        else:
+            assert row["simulated (s)"] == pytest.approx(
+                row["analytic (s)"], rel=0.08
+            )
+
+
+@pytest.mark.parametrize(
+    "strategy", ["send_recv", "local_allgather", "global_allgather", "broadcast"]
+)
+def test_bench_strategy_sim(benchmark, strategy):
+    benchmark.pedantic(
+        fig3.simulate_strategy, args=(strategy, 3, 2, GB), rounds=3, iterations=1
+    )

@@ -1,0 +1,36 @@
+"""E1 — regenerate Figure 5 (single device -> multiple devices)."""
+
+from conftest import save_table
+
+from repro.experiments import fig5
+
+
+def test_regenerate_fig5(benchmark, results_dir):
+    table = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    save_table(results_dir, "fig5_single_to_multi", table)
+    # sanity: broadcast stays flat while send/recv is linear
+    bc = table.column("broadcast (s)")
+    sr = table.column("send_recv (s)")
+    assert max(bc) / min(bc) < 1.05
+    assert sr[3] > 3.5 * sr[0]
+
+
+def test_bench_broadcast_1gb_4nodes(benchmark):
+    benchmark.pedantic(
+        fig5.single_to_multi_latency, args=(4, 2, "broadcast"),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_allgather_1gb_4nodes(benchmark):
+    benchmark.pedantic(
+        fig5.single_to_multi_latency, args=(4, 2, "allgather"),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_send_recv_1gb_4nodes(benchmark):
+    benchmark.pedantic(
+        fig5.single_to_multi_latency, args=(4, 2, "send_recv"),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,24 @@
+"""E2 — regenerate Table 2 + Figure 6 (multi -> multi microbenchmark)."""
+
+import pytest
+from conftest import save_table
+
+from repro.experiments import fig6
+from repro.experiments.fig6 import TABLE2_CASES
+
+
+def test_regenerate_fig6(benchmark, results_dir):
+    table = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    save_table(results_dir, "fig6_multi_to_multi", table)
+    by_case = {r["case"]: r for r in table.rows}
+    assert by_case["case1"]["ours/Alpa speedup"] == pytest.approx(1.0, abs=0.1)
+    for c in ("case3", "case4", "case9"):
+        assert by_case[c]["ours/Alpa speedup"] > 1.3
+    assert by_case["case8"]["ours/Alpa speedup"] > 2.0
+
+
+@pytest.mark.parametrize("case", TABLE2_CASES, ids=[c.name for c in TABLE2_CASES])
+def test_bench_case_broadcast(benchmark, case):
+    benchmark.pedantic(
+        fig6.case_latency, args=(case, "broadcast"), rounds=1, iterations=1
+    )

@@ -1,0 +1,34 @@
+"""E4 — regenerate Table 3 + Figure 7 (end-to-end training throughput)."""
+
+import pytest
+from conftest import save_table
+
+from repro.experiments import fig7
+from repro.models.gpt import GPTConfig, build_gpt
+from repro.models.parallel import run_iteration
+from repro.models.utransformer import UTransformerConfig, build_utransformer
+
+
+def test_regenerate_fig7(benchmark, results_dir):
+    table = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    save_table(results_dir, "fig7_end_to_end", table)
+    rows = {(r["model"], r["method"]): r for r in table.rows}
+    # GPT: ours ~1.1-1.2x over Alpa, both near the Signal bound
+    for model in ("GPT case1", "GPT case2"):
+        assert 1.05 < rows[(model, "ours")]["vs Alpa"] < 1.35
+        assert rows[(model, "ours")]["of Signal"] > 0.97
+    # U-Transformer: ours ~1.5x over Alpa, >= 97% of Signal
+    assert 1.35 < rows[("U-Transformer", "ours")]["vs Alpa"] < 1.7
+    assert rows[("U-Transformer", "ours")]["of Signal"] >= 0.97
+
+
+@pytest.mark.parametrize("method", ["alpa", "ours", "signal"])
+def test_bench_gpt_iteration(benchmark, method):
+    spec = build_gpt(GPTConfig())
+    benchmark.pedantic(run_iteration, args=(spec, method), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("method", ["alpa", "ours"])
+def test_bench_utransformer_iteration(benchmark, method):
+    spec = build_utransformer(UTransformerConfig())
+    benchmark.pedantic(run_iteration, args=(spec, method), rounds=1, iterations=1)

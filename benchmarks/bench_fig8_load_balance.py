@@ -1,0 +1,52 @@
+"""E5 — regenerate Figure 8 (load-balance / scheduling ablation)."""
+
+import numpy as np
+import pytest
+from conftest import save_table
+
+from repro.core.task import ReshardingTask
+from repro.experiments import fig8
+from repro.experiments.common import make_microbench_meshes
+from repro.experiments.fig6 import TABLE2_CASES, TENSOR_SHAPE
+from repro.scheduling import (
+    SchedulingProblem,
+    dfs_schedule,
+    ensemble_schedule,
+    randomized_greedy_schedule,
+)
+
+
+def test_regenerate_fig8(benchmark, results_dir):
+    table = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    save_table(results_dir, "fig8_load_balance", table)
+    by_case = {r["case"]: r for r in table.rows}
+    # ties where there is nothing to schedule
+    assert by_case["case1"]["naive/ours"] == pytest.approx(1.0, abs=0.05)
+    assert by_case["case8"]["naive/ours"] == pytest.approx(1.0, abs=0.05)
+    # congestion elsewhere
+    assert by_case["case2"]["naive/ours"] > 1.5
+    assert by_case["case4"]["lb/ours"] > 1.3
+
+
+def _problem(case):
+    _c, src, dst = make_microbench_meshes(case.send_mesh, case.recv_mesh)
+    rt = ReshardingTask(
+        TENSOR_SHAPE, src, case.send_spec, dst, case.recv_spec, dtype=np.float32
+    )
+    return SchedulingProblem.from_resharding(rt)
+
+
+def test_bench_scheduler_ensemble_case4(benchmark):
+    p = _problem(TABLE2_CASES[3])  # 64 unit tasks
+    benchmark(ensemble_schedule, p)
+
+
+def test_bench_scheduler_randomized_case4(benchmark):
+    p = _problem(TABLE2_CASES[3])
+    benchmark(randomized_greedy_schedule, p)
+
+
+def test_bench_scheduler_dfs_case3(benchmark):
+    p = _problem(TABLE2_CASES[2])
+    benchmark.pedantic(dfs_schedule, args=(p,), kwargs={"time_budget": 0.05},
+                       rounds=3, iterations=1)

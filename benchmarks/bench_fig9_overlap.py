@@ -1,0 +1,30 @@
+"""E6 — regenerate Figure 9 (overlap-friendly schedule ablation)."""
+
+import pytest
+from conftest import save_table
+
+from repro.experiments import fig9
+from repro.models.parallel import run_iteration
+from repro.models.utransformer import UTransformerConfig, build_utransformer
+
+
+def test_regenerate_fig9(benchmark, results_dir):
+    table = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    save_table(results_dir, "fig9_overlap", table)
+    rows = {(r["batch"], r["method"]): r for r in table.rows}
+    small = [k for k in rows if k[0].startswith("small")][0][0]
+    large = [k for k in rows if k[0].startswith("large")][0][0]
+    # small batch: overlap close to eager (paper: within a few %)
+    gap_small = (
+        rows[(small, "ours")]["TFLOPS/GPU"] / rows[(small, "overlap")]["TFLOPS/GPU"]
+    )
+    assert gap_small < 1.12
+    # large batch: overlap ~1.2-1.3x over broadcast, eager adds more
+    assert rows[(large, "overlap")]["vs broadcast"] > 1.15
+    assert rows[(large, "ours")]["vs broadcast"] > rows[(large, "overlap")]["vs broadcast"]
+
+
+@pytest.mark.parametrize("method", ["broadcast", "overlap", "ours"])
+def test_bench_utransformer_method(benchmark, method):
+    spec = build_utransformer(UTransformerConfig(global_batch=256))
+    benchmark.pedantic(run_iteration, args=(spec, method), rounds=1, iterations=1)

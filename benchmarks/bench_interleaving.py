@@ -1,0 +1,22 @@
+"""S3 — interleaved 1F1B virtual-stage sweep (extension)."""
+
+from conftest import save_table
+
+from repro.experiments import interleaving
+
+
+def test_regenerate_interleaving(benchmark, results_dir):
+    table = benchmark.pedantic(interleaving.run, rounds=1, iterations=1)
+    save_table(results_dir, "s3_interleaving", table)
+    rows = {(r["virtual stages"], r["comm/compute"]): r for r in table.rows}
+    for comm in (0.0, 0.25, 0.5):
+        # interleaving helps at every communication level
+        assert (
+            rows[(2, comm)]["iteration (s)"] < rows[(1, comm)]["iteration (s)"]
+        )
+        # and costs activation memory
+        assert (
+            rows[(2, comm)]["peak act stage0"] > rows[(1, comm)]["peak act stage0"]
+        )
+    # bubble shrinks with v in the comm-free case
+    assert rows[(4, 0.0)]["bubble"] < rows[(1, 0.0)]["bubble"]

@@ -1,0 +1,22 @@
+"""S1 — GPT parallel-configuration sweep (extension experiment)."""
+
+import pytest
+from conftest import save_table
+
+from repro.experiments import parallel_sweep
+
+
+def test_regenerate_parallel_sweep(benchmark, results_dir):
+    table = benchmark.pedantic(parallel_sweep.run, rounds=1, iterations=1)
+    save_table(results_dir, "s1_parallel_sweep", table)
+    rows = {r["config"]: r for r in table.rows}
+    # no cross-mesh comm at pp=1 -> systems tie
+    for cfg, r in rows.items():
+        if cfg.endswith(",1)"):
+            assert r["ours/alpa"] == pytest.approx(1.0, abs=0.01)
+    # deeper pipelines widen the gap
+    assert rows["(2,1,4)"]["ours/alpa"] > rows["(2,2,2)"]["ours/alpa"] > 1.1
+    # cross-host operator parallelism collapses
+    assert rows["(1,8,1)"]["alpa TFLOPS"] < 10
+    # with ours, pipeline depth is nearly free
+    assert rows["(1,1,8)"]["ours TFLOPS"] > 0.95 * rows["(4,1,2)"]["ours TFLOPS"]

@@ -1,0 +1,28 @@
+"""S2 — cluster-size scaling experiments (extension)."""
+
+import pytest
+from conftest import save_table
+
+from repro.experiments import scaling
+
+
+def test_regenerate_scaling(benchmark, results_dir):
+    table = benchmark.pedantic(scaling.run, rounds=1, iterations=1)
+    save_table(results_dir, "s2_mesh_scaling", table)
+    sr = table.column("send_recv (s)")
+    bc = table.column("broadcast (s)")
+    for a, b in zip(sr, bc):
+        assert a == pytest.approx(4 * b, rel=0.05)  # replication factor
+    # both scale down with aggregate bandwidth
+    assert bc[-1] < bc[0] / 4
+
+
+def test_regenerate_scheduler_scaling(benchmark, results_dir):
+    table = benchmark.pedantic(scaling.run_scheduler_scaling, rounds=1, iterations=1)
+    save_table(results_dir, "s2b_scheduler_scaling", table)
+    speedups = table.column("speedup")
+    # "more significant when the number of tiles is large" (§5.1.2)
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 3.0
+    # scheduler runtime stays sub-second even at 576 tasks
+    assert max(table.column("ours runtime (ms)")) < 5000

@@ -1,0 +1,18 @@
+"""E3 — regenerate Table 1 (GPT-3 layer per-GPU memory)."""
+
+from conftest import save_table
+
+from repro.experiments import table1
+
+
+def test_regenerate_table1(benchmark, results_dir):
+    table = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    save_table(results_dir, "table1_memory", table)
+    for row in table.rows:
+        assert row["measured"] == row["paper"], row
+
+
+def test_bench_memory_formula(benchmark):
+    from repro.models.gpt import gpt_layer_memory_table
+
+    benchmark(gpt_layer_memory_table)

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper table/figure: the
+``test_regenerate_*`` benchmark runs the full experiment (one round —
+these are simulations, not microbenchmarks) and writes the reproduced
+rows to ``benchmarks/results/<experiment>.md``; the remaining benchmarks
+time the hot paths (planning, scheduling, simulation) that the
+experiment exercises.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentTable, format_markdown
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir: pathlib.Path, name: str, table: ExperimentTable) -> None:
+    """Persist a reproduced table and echo it to stdout."""
+    md = format_markdown(table)
+    (results_dir / f"{name}.md").write_text(md)
+    print("\n" + md)

@@ -1,0 +1,65 @@
+"""Strategy sweep: message sizes, mesh shapes, and broadcast chunking.
+
+Three sweeps that show where each communication strategy wins:
+
+1. message size sweep (fixed meshes) — the latency crossovers;
+2. receiver-mesh sweep (fixed 1 GB message) — Fig. 5 in miniature;
+3. broadcast chunk-count sweep — the ``t + A t / K`` pipelining law
+   from §3.1, measured on the simulator.
+
+Run:  python examples/microbenchmark_sweep.py
+"""
+
+from repro import Cluster, ClusterSpec, DeviceMesh, reshard
+from repro.sim import GB, Network, ring_broadcast
+from repro.sim.analysis import latency_broadcast, t_cross_host
+
+
+def message_size_sweep() -> None:
+    print("== 1. message size sweep: RS0R @ (2,4) -> S0RR @ (2,4) ==")
+    cluster = Cluster(ClusterSpec(n_hosts=4, devices_per_host=4))
+    src = DeviceMesh.from_hosts(cluster, [0, 1])
+    dst = DeviceMesh.from_hosts(cluster, [2, 3])
+    print(f"{'size':>8} {'send_recv':>12} {'allgather':>12} {'broadcast':>12}")
+    for mib in (1, 16, 256, 2048):
+        n_elem = mib * (1 << 20) // 4
+        row = []
+        for strategy in ("send_recv", "allgather", "broadcast"):
+            r = reshard((n_elem,), src, "S0", dst, "S1", strategy=strategy)
+            row.append(r.latency)
+        print(f"{mib:>6}Mi {row[0] * 1e3:>10.2f}ms {row[1] * 1e3:>10.2f}ms "
+              f"{row[2] * 1e3:>10.2f}ms")
+
+
+def receiver_mesh_sweep() -> None:
+    print("\n== 2. receiver mesh sweep: 1 GiB replicated tensor ==")
+    print(f"{'recv mesh':>10} {'send_recv':>12} {'allgather':>12} {'broadcast':>12}")
+    for hosts, dph in ((1, 4), (2, 2), (2, 4), (4, 2)):
+        cluster = Cluster(ClusterSpec(n_hosts=1 + hosts, devices_per_host=4))
+        src = DeviceMesh(cluster, [[0]])
+        dst = DeviceMesh.from_hosts(cluster, range(1, 1 + hosts), dph)
+        row = []
+        for strategy in ("send_recv", "allgather", "broadcast"):
+            r = reshard((1 << 28,), src, "R", dst, "R", strategy=strategy)
+            row.append(r.latency)
+        print(f"{f'({hosts},{dph})':>10} {row[0]:>11.2f}s {row[1]:>11.2f}s "
+              f"{row[2]:>11.2f}s")
+
+
+def chunk_sweep() -> None:
+    print("\n== 3. broadcast chunk count: T = t + A t / K (A = 3 hosts) ==")
+    spec = ClusterSpec(n_hosts=4, devices_per_host=2,
+                       inter_host_latency=0.0, intra_host_latency=0.0)
+    t = t_cross_host(GB, spec.inter_host_bandwidth)
+    print(f"t = {t:.3f}s;  {'K':>5} {'simulated':>11} {'analytic':>11}")
+    for k in (1, 2, 4, 8, 16, 32, 64, 128):
+        net = Network(Cluster(spec))
+        h = ring_broadcast(net, 0, [2, 4, 6], GB, n_chunks=k)
+        net.run()
+        print(f"{k:>5} {h.finish_time:>10.3f}s {latency_broadcast(3, 1, t, k):>10.3f}s")
+
+
+if __name__ == "__main__":
+    message_size_sweep()
+    receiver_mesh_sweep()
+    chunk_sweep()

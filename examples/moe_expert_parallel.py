@@ -1,0 +1,70 @@
+"""Mixture-of-Experts training with a layout-changing stage boundary.
+
+Shows the library generalizing beyond the paper's two workloads: a
+GShard-style MoE transformer whose stage-0 mesh is (dp, ep) with experts
+sharded across columns, and whose stage-1 mesh is (4, 1) running
+sequence-sharded attention.  The boundary resharding converts a
+batch-sharded activation into a sequence-sharded one across meshes of
+different shapes — orthogonal tilings, the general §2.2 setting.
+
+Run:  python examples/moe_expert_parallel.py
+"""
+
+import numpy as np
+
+from repro.core.data import apply_plan
+from repro.core.task import ReshardingTask
+from repro.core.tensor import DistributedTensor
+from repro.models import MoEConfig, build_moe, dispatch_all_to_all_time, moe_params
+from repro.models.parallel import run_iteration
+from repro.strategies import make_strategy
+
+
+def main() -> None:
+    cfg = MoEConfig()
+    spec = build_moe(cfg)
+    print(f"{cfg.name}: {moe_params(cfg) / 1e9:.2f}B params, "
+          f"{cfg.n_experts} experts (top-{cfg.top_k} routing)")
+    print(f"stage meshes: {spec.stage_meshes[0].shape} -> {spec.stage_meshes[1].shape}")
+    for s, mesh in enumerate(spec.stage_meshes):
+        a2a = dispatch_all_to_all_time(cfg, mesh)
+        print(f"  stage {s}: expert all-to-all = {a2a * 1e3:.2f} ms per layer pass")
+
+    # -- the boundary resharding, inspected in isolation -----------------
+    b = spec.boundaries[0]
+    print(f"\nboundary: {b.shape} {b.src_spec}@{spec.stage_meshes[0].shape} "
+          f"-> {b.dst_spec}@{spec.stage_meshes[1].shape}")
+    rt = ReshardingTask(
+        b.shape, spec.stage_meshes[0], b.src_spec,
+        spec.stage_meshes[1], b.dst_spec, dtype=np.float16,
+    )
+    print(f"decomposes into {len(rt.unit_tasks())} unit communication tasks")
+
+    # verify the batch->sequence conversion moves real bytes correctly
+    small = ReshardingTask(
+        (8, 64, 32), spec.stage_meshes[0], b.src_spec,
+        spec.stage_meshes[1], b.dst_spec, dtype=np.float32,
+    )
+    arr = np.arange(8 * 64 * 32, dtype=np.float32).reshape(8, 64, 32)
+    plan = make_strategy("broadcast").plan(small)
+    out = apply_plan(plan, DistributedTensor.from_global(
+        small.src_mesh, small.src_spec, arr))
+    assert np.array_equal(out.to_global(), arr)
+    print("data plane verified: batch-sharded -> sequence-sharded is exact")
+
+    # -- end to end -------------------------------------------------------
+    print(f"\nend-to-end ({spec.n_microbatches} micro-batches):")
+    results = {}
+    for method in ("alpa", "broadcast", "overlap", "ours", "signal"):
+        r = run_iteration(spec, method)
+        results[method] = r
+        print(f"  {method:<10} {r.iteration_time:6.2f}s  "
+              f"{r.throughput_tflops:6.2f} TFLOPS/GPU")
+    print(f"  -> ours vs Alpa: "
+          f"{results['ours'].throughput_tflops / results['alpa'].throughput_tflops:.2f}x, "
+          f"{results['ours'].throughput_tflops / results['signal'].throughput_tflops:.1%} "
+          f"of Signal")
+
+
+if __name__ == "__main__":
+    main()

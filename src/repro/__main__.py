@@ -1,0 +1,164 @@
+"""Command-line interface.
+
+Examples::
+
+    # time one cross-mesh resharding (Table 2's case 3 shape)
+    python -m repro reshard --shape 1024,1024,512 --src-spec RS0R \\
+        --dst-spec S0RR --src-mesh 2,4 --dst-mesh 2,4 --strategy broadcast
+
+    # compare all strategies, with data verification on a small tensor
+    python -m repro reshard --shape 64,64,64 --src-spec S0RR --dst-spec RS1R \\
+        --strategy all --verify
+
+    # one end-to-end training iteration
+    python -m repro e2e --model utransformer --method ours alpa signal
+
+    # regenerate every paper table/figure into EXPERIMENTS.md
+    python -m repro report --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _parse_ints(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+
+
+def cmd_reshard(args: argparse.Namespace) -> int:
+    from .core.api import reshard
+    from .experiments.common import fmt_bytes, fmt_seconds, make_microbench_meshes
+    from .strategies import STRATEGIES
+
+    if len(args.src_mesh) != 2 or len(args.dst_mesh) != 2:
+        print("mesh shapes must be 2-D, e.g. 2,4", file=sys.stderr)
+        return 2
+    _cluster, src, dst = make_microbench_meshes(args.src_mesh, args.dst_mesh)
+    strategies = (
+        sorted(set(STRATEGIES) - {"alpa"}) if args.strategy == "all" else [args.strategy]
+    )
+    tensor_or_shape = args.shape
+    if args.verify:
+        n = int(np.prod(args.shape))
+        tensor_or_shape = np.arange(n, dtype=np.float32).reshape(args.shape)
+    print(
+        f"reshard {args.src_spec}@{args.src_mesh} -> {args.dst_spec}@{args.dst_mesh}, "
+        f"shape {args.shape} fp32"
+    )
+    for name in strategies:
+        r = reshard(tensor_or_shape, src, args.src_spec, dst, args.dst_spec,
+                    strategy=name)
+        verified = ""
+        if args.verify and r.dst_tensor is not None:
+            ok = bool(np.array_equal(r.dst_tensor.to_global(), tensor_or_shape))
+            verified = f"  verified={ok}"
+            if not ok:
+                return 1
+        print(
+            f"  {name:<10} latency={fmt_seconds(r.latency):>11}  "
+            f"cross-host={fmt_bytes(r.cross_host_bytes):>11}{verified}"
+        )
+    return 0
+
+
+def cmd_e2e(args: argparse.Namespace) -> int:
+    from .models.gpt import GPT_CASES, build_gpt
+    from .models.parallel import run_iteration
+    from .models.utransformer import UTransformerConfig, build_utransformer
+
+    if args.model == "gpt1":
+        spec = build_gpt(GPT_CASES["GPT case1"])
+    elif args.model == "gpt2":
+        spec = build_gpt(GPT_CASES["GPT case2"])
+    else:
+        spec = build_utransformer(UTransformerConfig())
+    print(f"{spec.name}: {spec.notes}; {spec.n_microbatches} micro-batches")
+    for method in args.method:
+        r = run_iteration(spec, method)
+        print(
+            f"  {method:<10} iteration={r.iteration_time:8.2f}s  "
+            f"throughput={r.throughput_tflops:7.2f} TFLOPS/GPU"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import write_report
+
+    write_report(args.output, verbose=not args.quiet)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import ablations, fig3, fig5, fig6, fig7, fig8, fig9, table1
+    from .experiments.common import format_markdown
+
+    modules = {
+        "E1": fig5, "E2": fig6, "E3": table1, "E4": fig7,
+        "E5": fig8, "E6": fig9, "E7": fig3, "A0": ablations,
+    }
+    mod = modules[args.id]
+    print(format_markdown(mod.run()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-mesh resharding reproduction (MLSys 2023) CLI",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    r = sub.add_parser("reshard", help="time one cross-mesh resharding")
+    r.add_argument("--shape", type=_parse_ints, required=True)
+    r.add_argument("--src-spec", required=True)
+    r.add_argument("--dst-spec", required=True)
+    r.add_argument("--src-mesh", type=_parse_ints, default=(2, 4))
+    r.add_argument("--dst-mesh", type=_parse_ints, default=(2, 4))
+    r.add_argument(
+        "--strategy",
+        default="broadcast",
+        choices=["send_recv", "allgather", "broadcast", "signal", "auto", "all"],
+    )
+    r.add_argument("--verify", action="store_true",
+                   help="move real data and check the destination layout")
+    r.set_defaults(fn=cmd_reshard)
+
+    e = sub.add_parser("e2e", help="simulate one training iteration")
+    e.add_argument("--model", choices=["gpt1", "gpt2", "utransformer"],
+                   default="utransformer")
+    e.add_argument(
+        "--method",
+        nargs="+",
+        default=["alpa", "ours", "signal"],
+        choices=["send_recv", "alpa", "broadcast", "overlap", "ours",
+                 "ours_delay", "signal"],
+    )
+    e.set_defaults(fn=cmd_e2e)
+
+    x = sub.add_parser("experiment", help="run one paper experiment")
+    x.add_argument("id", choices=["E1", "E2", "E3", "E4", "E5", "E6", "E7", "A0"])
+    x.set_defaults(fn=cmd_experiment)
+
+    rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    rep.add_argument("--output", default="EXPERIMENTS.md")
+    rep.add_argument("--quiet", action="store_true")
+    rep.set_defaults(fn=cmd_report)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

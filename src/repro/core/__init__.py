@@ -1,0 +1,68 @@
+"""Core cross-mesh resharding library (the paper's primary contribution)."""
+
+from .api import ReshardResult, plan_resharding, reshard
+from .data import DataPlaneError, apply_plan
+from .executor import TimingResult, simulate_plan
+from .intra import IntraReshardResult, intra_mesh_reshard, plan_intra_mesh
+from .joint import (
+    JointTimingResult,
+    plan_joint_broadcast,
+    reshard_boundary,
+    simulate_joint,
+)
+from .mesh import DeviceMesh
+from .plan import AllGatherOp, BroadcastOp, CommOp, CommPlan, ScatterOp, SendOp
+from .slices import (
+    Region,
+    TileGrid,
+    region_intersection,
+    region_shape,
+    region_size,
+    relative_region,
+    split_offsets,
+)
+from .spec import REPLICATED, ShardingSpec, parse_spec
+from .validate import CoverageReport, PlanValidationError, verify_plan_coverage
+from .task import IntersectionTransfer, ReshardingTask, UnitCommTask
+from .tensor import DistributedTensor
+
+__all__ = [
+    "DeviceMesh",
+    "ShardingSpec",
+    "parse_spec",
+    "REPLICATED",
+    "Region",
+    "TileGrid",
+    "region_intersection",
+    "region_shape",
+    "region_size",
+    "relative_region",
+    "split_offsets",
+    "ReshardingTask",
+    "UnitCommTask",
+    "IntersectionTransfer",
+    "CommPlan",
+    "CommOp",
+    "SendOp",
+    "BroadcastOp",
+    "ScatterOp",
+    "AllGatherOp",
+    "simulate_plan",
+    "TimingResult",
+    "apply_plan",
+    "DataPlaneError",
+    "DistributedTensor",
+    "reshard",
+    "plan_resharding",
+    "ReshardResult",
+    "intra_mesh_reshard",
+    "plan_intra_mesh",
+    "IntraReshardResult",
+    "reshard_boundary",
+    "plan_joint_broadcast",
+    "simulate_joint",
+    "JointTimingResult",
+    "verify_plan_coverage",
+    "PlanValidationError",
+    "CoverageReport",
+]

@@ -1,0 +1,186 @@
+"""Timing interpreter: run a CommPlan on the flow-level network simulator.
+
+Ops map onto the timed primitives of :mod:`repro.sim.primitives`.  When
+the plan carries a schedule, unit tasks are *gated*: task ``i`` may only
+start once every earlier-ordered task sharing one of its hosts has
+finished — the executable form of the paper's Eq. 3 non-overlap
+constraint.  Ungated plans (the baselines) launch everything at once and
+let max-min fair bandwidth sharing model the resulting congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.network import Network
+from ..sim.primitives import (
+    CollectiveHandle,
+    p2p,
+    ring_allgather,
+    ring_broadcast,
+    ring_order,
+    scatter,
+)
+from .plan import AllGatherOp, BroadcastOp, CommOp, CommPlan, ScatterOp, SendOp
+
+__all__ = ["TimingResult", "simulate_plan"]
+
+
+@dataclass
+class TimingResult:
+    """Outcome of simulating one communication plan."""
+
+    total_time: float
+    op_finish: dict[int, float]
+    task_finish: dict[int, float]
+    bytes_cross_host: float
+    bytes_intra_host: float
+    network: Network = field(repr=False)
+
+    @property
+    def makespan(self) -> float:
+        return self.total_time
+
+
+def _launch_op(network: Network, op: CommOp) -> CollectiveHandle:
+    if isinstance(op, SendOp):
+        return p2p(network, op.sender, op.receiver, op.nbytes, tag=f"op{op.op_id}")
+    if isinstance(op, BroadcastOp):
+        return ring_broadcast(
+            network,
+            op.sender,
+            op.receivers,
+            op.nbytes,
+            n_chunks=op.n_chunks,
+            tag=f"op{op.op_id}",
+        )
+    if isinstance(op, ScatterOp):
+        return scatter(network, op.sender, op.receivers, op.nbytes, tag=f"op{op.op_id}")
+    if isinstance(op, AllGatherOp):
+        group = ring_order(network.cluster, op.devices[0], op.devices)
+        shard = op.nbytes / len(op.devices)
+        return ring_allgather(network, group, shard, tag=f"op{op.op_id}")
+    raise TypeError(f"unknown op type {type(op).__name__}")
+
+
+def simulate_plan(
+    plan: CommPlan,
+    network: Optional[Network] = None,
+    respect_schedule: bool = True,
+) -> TimingResult:
+    """Simulate ``plan``; returns latency and traffic statistics."""
+    net = network if network is not None else Network(plan.task.cluster)
+    cluster = plan.task.cluster
+    base_cross = net.bytes_cross_host
+    base_intra = net.bytes_intra_host
+
+    op_finish: dict[int, float] = {}
+    task_finish: dict[int, float] = {}
+    op_done: set[int] = set()
+    launched: set[int] = set()
+
+    # ---- schedule gating -------------------------------------------------
+    # For each unit task, `task_preds[tid]` is the set of earlier-ordered
+    # tasks that share a host with it; it may start when all preds finish.
+    schedule = plan.schedule if respect_schedule else None
+    task_ops: dict[int, list[CommOp]] = {}
+    for op in plan.ops:
+        task_ops.setdefault(op.unit_task_id, []).append(op)
+    tasks_pending_ops = {tid: len(ops) for tid, ops in task_ops.items()}
+
+    task_preds: dict[int, set[int]] = {tid: set() for tid in task_ops}
+    task_succs: dict[int, set[int]] = {tid: set() for tid in task_ops}
+    released: set[int] = set()
+    if schedule is not None:
+        ut_by_id = {ut.task_id: ut for ut in plan.task.unit_tasks(plan.granularity)}
+        last_on_host: dict[int, int] = {}
+        for tid in schedule.order:
+            if tid not in task_ops:
+                continue  # task had no receivers / no ops
+            ut = ut_by_id[tid]
+            hosts = set(plan.task.receiver_hosts(ut))
+            hosts.add(schedule.assignment[tid])
+            for h in hosts:
+                if h in last_on_host:
+                    prev = last_on_host[h]
+                    if prev != tid:
+                        task_preds[tid].add(prev)
+                        task_succs[prev].add(tid)
+                last_on_host[h] = tid
+
+    def task_released(tid: int) -> bool:
+        return tid == -1 or not task_preds.get(tid) or tid in released
+
+    def op_ready(op: CommOp) -> bool:
+        return (
+            op.op_id not in launched
+            and all(d in op_done for d in op.deps)
+            and (op.unit_task_id == -1 or op.unit_task_id in released)
+        )
+
+    def on_op_done(op: CommOp, handle: CollectiveHandle) -> None:
+        op_done.add(op.op_id)
+        op_finish[op.op_id] = handle.finish_time
+        tid = op.unit_task_id
+        if tid in tasks_pending_ops:
+            tasks_pending_ops[tid] -= 1
+            if tasks_pending_ops[tid] == 0:
+                task_finish[tid] = handle.finish_time
+                for succ in task_succs.get(tid, ()):
+                    maybe_release(succ)
+        # Same-task ops with deps may now be ready.
+        for nxt in task_ops.get(tid, ()):
+            if op_ready(nxt):
+                launch(nxt)
+
+    def launch(op: CommOp) -> None:
+        launched.add(op.op_id)
+        if isinstance(op, BroadcastOp) and not op.receivers:
+            on_op_done(op, _immediate(net))
+            return
+        handle = _launch_op(net, op)
+        handle.add_done_callback(lambda h, op=op: on_op_done(op, h))
+
+    def maybe_release(tid: int) -> None:
+        if tid in released:
+            return
+        if all(p in task_finish for p in task_preds.get(tid, ())):
+            released.add(tid)
+            for op in task_ops.get(tid, ()):
+                if op_ready(op):
+                    launch(op)
+
+    # Release roots.
+    for tid in list(task_ops):
+        if tid == -1:
+            released.add(tid)
+            for op in task_ops[tid]:
+                if op_ready(op):
+                    launch(op)
+        else:
+            maybe_release(tid)
+
+    net.run()
+
+    missing = [op.op_id for op in plan.ops if op.op_id not in op_done]
+    if missing:
+        raise RuntimeError(
+            f"plan deadlocked: ops never completed: {missing[:10]}"
+            + ("..." if len(missing) > 10 else "")
+        )
+    total = max(op_finish.values(), default=0.0)
+    return TimingResult(
+        total_time=total,
+        op_finish=op_finish,
+        task_finish=task_finish,
+        bytes_cross_host=net.bytes_cross_host - base_cross,
+        bytes_intra_host=net.bytes_intra_host - base_intra,
+        network=net,
+    )
+
+
+def _immediate(net: Network) -> CollectiveHandle:
+    h = CollectiveHandle(net, "noop")
+    h._seal()
+    return h

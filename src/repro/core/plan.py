@@ -1,0 +1,124 @@
+"""Communication-plan IR for cross-mesh resharding.
+
+A strategy compiles a :class:`~repro.core.task.ReshardingTask` into a
+:class:`CommPlan`: a list of communication ops plus (optionally) a unit-
+task schedule.  The plan has two interpreters:
+
+* the **timing interpreter** (:mod:`repro.core.executor`) maps ops onto
+  the flow simulator's primitives and reports simulated latency;
+* the **data interpreter** (:mod:`repro.core.data`) moves real NumPy
+  buffers between simulated devices and verifies every destination
+  device ends up with exactly its required tile.
+
+Op kinds:
+
+``SendOp``
+    sender delivers the exact ``region`` to one receiver.
+``BroadcastOp``
+    sender delivers the full ``region`` to every receiver (ring
+    broadcast with ``n_chunks`` pipeline chunks); receivers crop.
+``ScatterOp``
+    region's elements (row-major flattened) are split into
+    ``len(receivers)`` near-equal flat parts; part ``k`` goes to
+    ``receivers[k]``.
+``AllGatherOp``
+    the group devices, each holding flat part ``k`` of ``region``
+    (from a prior ScatterOp, named via ``deps``), exchange parts so all
+    of them hold the full region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..scheduling.problem import Schedule
+from .slices import Region
+from .task import ReshardingTask
+
+__all__ = ["CommOp", "SendOp", "BroadcastOp", "ScatterOp", "AllGatherOp", "CommPlan"]
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """Base communication op.
+
+    ``deps`` are op ids that must complete before this op starts (data
+    dependencies within a composite, e.g. scatter before all-gather).
+    ``unit_task_id`` ties the op to the unit communication task it
+    implements, used for schedule gating; ``-1`` means ungated.
+    """
+
+    op_id: int
+    unit_task_id: int
+    region: Region
+    nbytes: float
+    deps: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class SendOp(CommOp):
+    sender: int = -1
+    receiver: int = -1
+
+
+@dataclass(frozen=True)
+class BroadcastOp(CommOp):
+    sender: int = -1
+    receivers: tuple[int, ...] = ()
+    n_chunks: int = 64
+
+
+@dataclass(frozen=True)
+class ScatterOp(CommOp):
+    sender: int = -1
+    receivers: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class AllGatherOp(CommOp):
+    devices: tuple[int, ...] = ()
+
+
+@dataclass
+class CommPlan:
+    """A compiled cross-mesh resharding plan."""
+
+    task: ReshardingTask
+    strategy: str
+    ops: list[CommOp] = field(default_factory=list)
+    #: unit-task schedule (assignment + order); None means "launch all"
+    schedule: Optional[Schedule] = None
+    #: False when the plan does not actually move the tensor (signal)
+    data_complete: bool = True
+    #: unit-task decomposition the op unit_task_ids refer to
+    granularity: str = "intersection"
+
+    def add(self, op: CommOp) -> CommOp:
+        if op.op_id != len(self.ops):
+            raise ValueError(
+                f"op_id {op.op_id} out of sequence (expected {len(self.ops)})"
+            )
+        for d in op.deps:
+            if not 0 <= d < len(self.ops):
+                raise ValueError(f"dep {d} references unknown op")
+        self.ops.append(op)
+        return op
+
+    @property
+    def next_op_id(self) -> int:
+        return len(self.ops)
+
+    def ops_of_task(self, unit_task_id: int) -> list[CommOp]:
+        return [op for op in self.ops if op.unit_task_id == unit_task_id]
+
+    def total_bytes(self) -> float:
+        """Sum of bytes injected by each op (broadcast counts once per hop
+        at execution time; here we count the op's payload once)."""
+        return sum(op.nbytes for op in self.ops)
+
+    def __repr__(self) -> str:
+        kinds: dict[str, int] = {}
+        for op in self.ops:
+            kinds[type(op).__name__] = kinds.get(type(op).__name__, 0) + 1
+        return f"CommPlan({self.strategy}, ops={kinds})"

@@ -1,0 +1,151 @@
+"""Sharding specs in the paper's notation (§2.2).
+
+The layout of an N-dimensional tensor ``D`` over a 2-D mesh is an
+N-element string ``X_0^{d_0} ... X_{N-1}^{d_{N-1}}`` where each ``X_i`` is
+``S`` (sharded) or ``R`` (replicated) and ``d_i`` names the mesh axes the
+sharding maps to (``0``, ``1`` or ``01``).  Examples: ``S0RR``, ``RS01R``,
+``RRR``.
+
+Internally a spec is a tuple with one entry per tensor dimension: an empty
+tuple for ``R`` or a tuple of mesh axes for ``S`` (``(0,)``, ``(1,)``,
+``(0, 1)`` or ``(1, 0)``).  A mesh axis may be used by at most one tensor
+dimension; mesh axes used by no dimension replicate the tensor along them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from .mesh import DeviceMesh
+
+__all__ = ["ShardingSpec", "parse_spec", "REPLICATED"]
+
+_TOKEN = re.compile(r"S(\d+)|R")
+
+#: Per-dimension assignment for a replicated dimension.
+REPLICATED: tuple[int, ...] = ()
+
+
+class ShardingSpec:
+    """Immutable sharding spec for an N-dimensional tensor on a 2-D mesh."""
+
+    __slots__ = ("dims",)
+
+    def __init__(self, dims: Iterable[Sequence[int]]) -> None:
+        norm: list[tuple[int, ...]] = []
+        for d in dims:
+            axes = tuple(int(a) for a in d)
+            for a in axes:
+                if a not in (0, 1):
+                    raise ValueError(f"mesh axis must be 0 or 1, got {a}")
+            if len(set(axes)) != len(axes):
+                raise ValueError(f"repeated mesh axis within one dim: {axes}")
+            norm.append(axes)
+        used = [a for axes in norm for a in axes]
+        if len(set(used)) != len(used):
+            raise ValueError(
+                f"a mesh axis may shard at most one tensor dim: {norm}"
+            )
+        if not norm:
+            raise ValueError("spec must cover at least one tensor dimension")
+        object.__setattr__(self, "dims", tuple(norm))
+
+    def __setattr__(self, *a) -> None:  # immutability
+        raise AttributeError("ShardingSpec is immutable")
+
+    # ------------------------------------------------------------------
+    # Parsing / formatting
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ShardingSpec":
+        """Parse the paper's string notation, e.g. ``"S0RR"``, ``"RS01R"``."""
+        pos = 0
+        dims: list[tuple[int, ...]] = []
+        while pos < len(text):
+            m = _TOKEN.match(text, pos)
+            if m is None:
+                raise ValueError(f"bad sharding spec {text!r} at position {pos}")
+            if m.group(0) == "R":
+                dims.append(REPLICATED)
+            else:
+                dims.append(tuple(int(ch) for ch in m.group(1)))
+            pos = m.end()
+        if not dims:
+            raise ValueError("empty sharding spec")
+        return cls(dims)
+
+    def __str__(self) -> str:
+        return "".join(
+            "R" if not axes else "S" + "".join(str(a) for a in axes)
+            for axes in self.dims
+        )
+
+    def __repr__(self) -> str:
+        return f"ShardingSpec({self})"
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def used_mesh_axes(self) -> frozenset[int]:
+        return frozenset(a for axes in self.dims for a in axes)
+
+    def replica_mesh_axes(self) -> tuple[int, ...]:
+        """Mesh axes along which the tensor is replicated."""
+        return tuple(a for a in (0, 1) if a not in self.used_mesh_axes)
+
+    def shards_per_dim(self, mesh: DeviceMesh) -> tuple[int, ...]:
+        """Number of tile intervals along each tensor dimension."""
+        out = []
+        for axes in self.dims:
+            n = 1
+            for a in axes:
+                n *= mesh.shape[a]
+            out.append(n)
+        return tuple(out)
+
+    def replication_factor(self, mesh: DeviceMesh) -> int:
+        """How many devices hold each data slice."""
+        n = 1
+        for a in self.replica_mesh_axes():
+            n *= mesh.shape[a]
+        return n
+
+    def validate(self, shape: Sequence[int], mesh: DeviceMesh) -> None:
+        """Check the spec fits a tensor ``shape`` over ``mesh``.
+
+        Allows uneven partitions (a dimension smaller than its shard
+        count is the only hard error).
+        """
+        if len(shape) != self.ndim:
+            raise ValueError(
+                f"spec {self} has {self.ndim} dims but tensor has {len(shape)}"
+            )
+        for size, n in zip(shape, self.shards_per_dim(mesh)):
+            if n > size:
+                raise ValueError(
+                    f"cannot split dimension of size {size} into {n} shards"
+                )
+
+    def is_even(self, shape: Sequence[int], mesh: DeviceMesh) -> bool:
+        """True when every sharded dim divides evenly (no padding needed)."""
+        return all(
+            size % n == 0 for size, n in zip(shape, self.shards_per_dim(mesh))
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ShardingSpec) and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash(self.dims)
+
+
+def parse_spec(text: "str | ShardingSpec") -> ShardingSpec:
+    """Coerce a string (or pass through a spec) to :class:`ShardingSpec`."""
+    if isinstance(text, ShardingSpec):
+        return text
+    return ShardingSpec.parse(text)

@@ -1,0 +1,51 @@
+"""E5 — Figure 8: ablation of the load-balance/scheduling algorithm.
+
+The Table 2 microbenchmark cases, all using broadcast-based resharding,
+but with three schedulers: the naive algorithm (first sender host,
+arbitrary order), load-balance-only (LPT greedy), and ours (the
+ensemble of DFS-with-pruning and randomized greedy).
+
+Expected shape: ties on cases 1 and 8 (pure p2p / a single broadcast);
+everywhere else naive and load-balance-only hit congestion while the
+ensemble finds a schedule that keeps every sender and receiver busy.
+"""
+
+from __future__ import annotations
+
+from .common import ExperimentTable
+from .fig6 import TABLE2_CASES, case_latency
+
+__all__ = ["run", "SCHEDULERS_UNDER_TEST"]
+
+SCHEDULERS_UNDER_TEST = ("naive", "load_balance", "ensemble")
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="E5 (Fig. 8)",
+        title="Load-balance ablation: broadcast resharding under three schedulers",
+        columns=[
+            "case",
+            "naive (s)",
+            "load_balance (s)",
+            "ours/ensemble (s)",
+            "naive/ours",
+            "lb/ours",
+        ],
+    )
+    for case in TABLE2_CASES:
+        lat = {
+            s: case_latency(case, "broadcast", scheduler=s)
+            for s in SCHEDULERS_UNDER_TEST
+        }
+        table.add(
+            **{
+                "case": case.name,
+                "naive (s)": lat["naive"],
+                "load_balance (s)": lat["load_balance"],
+                "ours/ensemble (s)": lat["ensemble"],
+                "naive/ours": lat["naive"] / lat["ensemble"],
+                "lb/ours": lat["load_balance"] / lat["ensemble"],
+            }
+        )
+    return table

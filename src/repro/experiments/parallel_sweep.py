@@ -1,0 +1,70 @@
+"""S1 — parallel-configuration sweep (beyond the paper's fixed configs).
+
+Table 3 evaluates two hand-picked GPT parallel configs.  Systems like
+Alpa *search* this space; with the whole stack simulated we can sweep
+every (dp, op, pp) factorization of the 8-GPU cluster and see how the
+communication system changes the ranking — communication-heavier
+configs (more pipeline stages, cross-host tensor parallelism) gain the
+most from broadcast + eager-1F1B.
+"""
+
+from __future__ import annotations
+
+from ..models.gpt import GPTConfig, build_gpt
+from ..models.parallel import run_iteration
+from .common import ExperimentTable
+
+__all__ = ["run", "gpt_config_space"]
+
+
+def gpt_config_space(n_devices: int = 8, n_layers: int = 32) -> list[GPTConfig]:
+    """All (dp, op, pp) factorizations of ``n_devices`` that fit GPT."""
+    configs = []
+    for pp in (1, 2, 4, 8):
+        if n_devices % pp or n_layers % pp:
+            continue
+        rest = n_devices // pp
+        dp = 1
+        while dp <= rest:
+            if rest % dp == 0:
+                op = rest // dp
+                try:
+                    configs.append(
+                        GPTConfig(
+                            name=f"GPT ({dp},{op},{pp})", dp=dp, op=op, pp=pp
+                        )
+                    )
+                except ValueError:
+                    pass
+            dp *= 2
+    return configs
+
+
+def run(methods: tuple[str, ...] = ("alpa", "ours")) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="S1 (extension)",
+        title="GPT-2.6B parallel-config sweep on 8 GPUs (per-GPU TFLOPS)",
+        columns=["config", "micro-batches"] + [f"{m} TFLOPS" for m in methods]
+        + ["ours/alpa"],
+        notes=(
+            "pp=1 has no cross-mesh resharding, so all systems tie; "
+            "deeper pipelines shift more time into communication and "
+            "widen the gap."
+        ),
+    )
+    for cfg in gpt_config_space():
+        spec = build_gpt(cfg)
+        results = {m: run_iteration(spec, m) for m in methods}
+        row = {
+            "config": f"({cfg.dp},{cfg.op},{cfg.pp})",
+            "micro-batches": cfg.n_microbatches,
+            "ours/alpa": (
+                results["ours"].throughput_tflops / results["alpa"].throughput_tflops
+                if {"ours", "alpa"} <= set(methods)
+                else float("nan")
+            ),
+        }
+        for m in methods:
+            row[f"{m} TFLOPS"] = results[m].throughput_tflops
+        table.add(**row)
+    return table

@@ -1,0 +1,65 @@
+"""Workload cost models for the end-to-end evaluation (paper §5.2)."""
+
+from .costs import (
+    BYTES,
+    DeviceModel,
+    V100,
+    conv2d_flops_fwd,
+    conv2d_params,
+    ring_allreduce_time,
+    transformer_layer_flops_fwd,
+    transformer_layer_params,
+)
+from .gpt import GPT_CASES, GPTConfig, build_gpt, gpt_layer_memory_table
+from .inference import InferenceResult, forward_only_orders, run_inference
+from .moe import MoEConfig, build_moe, dispatch_all_to_all_time, moe_params
+from .parallel import (
+    Boundary,
+    E2EResult,
+    METHODS,
+    MethodSpec,
+    ParallelJobSpec,
+    resolve_comm_edges,
+    run_iteration,
+)
+from .utransformer import (
+    UTransformerConfig,
+    balanced_split,
+    build_utransformer,
+    utransformer_modules,
+    utransformer_params,
+)
+
+__all__ = [
+    "DeviceModel",
+    "V100",
+    "BYTES",
+    "transformer_layer_flops_fwd",
+    "transformer_layer_params",
+    "conv2d_flops_fwd",
+    "conv2d_params",
+    "ring_allreduce_time",
+    "GPTConfig",
+    "GPT_CASES",
+    "build_gpt",
+    "gpt_layer_memory_table",
+    "MoEConfig",
+    "build_moe",
+    "moe_params",
+    "dispatch_all_to_all_time",
+    "InferenceResult",
+    "run_inference",
+    "forward_only_orders",
+    "UTransformerConfig",
+    "build_utransformer",
+    "utransformer_modules",
+    "utransformer_params",
+    "balanced_split",
+    "Boundary",
+    "ParallelJobSpec",
+    "MethodSpec",
+    "METHODS",
+    "resolve_comm_edges",
+    "run_iteration",
+    "E2EResult",
+]

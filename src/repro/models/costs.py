@@ -1,0 +1,81 @@
+"""Analytic compute/memory cost models for the end-to-end workloads.
+
+All FLOP formulas are the standard ones used in the Megatron/Alpa
+literature; throughput in the paper (Fig. 7) is likewise computed from a
+model FLOP count divided by measured iteration time.  Device throughputs
+are *effective* (achieved GEMM) rates for a V100, not peaks: tensor-core
+fp16 GEMM sustains roughly 40 % of the 125 TFLOPS peak in mixed-precision
+transformer training, while fp32 GEMM runs close to its 15.7 TFLOPS peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceModel",
+    "V100",
+    "transformer_layer_flops_fwd",
+    "transformer_layer_params",
+    "conv2d_flops_fwd",
+    "conv2d_params",
+    "ring_allreduce_time",
+    "BYTES",
+]
+
+BYTES = {"fp16": 2, "fp32": 4}
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Effective per-device throughput and memory."""
+
+    name: str = "V100-16GB"
+    fp16_flops: float = 50e12  # effective tensor-core GEMM rate
+    fp32_flops: float = 13e12  # effective fp32 GEMM rate
+    memory_bytes: float = 16 * (1 << 30)
+
+    def flops(self, precision: str) -> float:
+        if precision == "fp16":
+            return self.fp16_flops
+        if precision == "fp32":
+            return self.fp32_flops
+        raise ValueError(f"unknown precision {precision!r}")
+
+
+V100 = DeviceModel()
+
+
+def transformer_layer_flops_fwd(batch: int, seq: int, hidden: int) -> float:
+    """Forward FLOPs of one transformer layer on ``batch`` sequences.
+
+    ``24 B S H^2`` for the four GEMMs (QKV, proj, 2 MLP) plus
+    ``4 B S^2 H`` for attention scores and weighted values.  The
+    backward pass costs twice this (dgrad + wgrad).
+    """
+    return 24.0 * batch * seq * hidden**2 + 4.0 * batch * seq**2 * hidden
+
+
+def transformer_layer_params(hidden: int) -> float:
+    """Parameter count of one transformer layer: ``12 H^2``."""
+    return 12.0 * hidden**2
+
+
+def conv2d_flops_fwd(
+    batch: int, c_in: int, c_out: int, hw: int, kernel: int = 3
+) -> float:
+    """Forward FLOPs of one conv layer over ``hw`` output pixels."""
+    return 2.0 * kernel * kernel * c_in * c_out * hw * batch
+
+
+def conv2d_params(c_in: int, c_out: int, kernel: int = 3) -> float:
+    return float(kernel * kernel * c_in * c_out)
+
+
+def ring_allreduce_time(nbytes: float, n_ranks: int, bandwidth: float) -> float:
+    """Bandwidth-optimal ring all-reduce latency: ``2 (n-1)/n * bytes/bw``."""
+    if n_ranks <= 1:
+        return 0.0
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return 2.0 * (n_ranks - 1) / n_ranks * nbytes / bandwidth

@@ -1,0 +1,74 @@
+"""Pipelined inference (forward-only) on the same model-parallel jobs.
+
+Cross-mesh resharding matters for model-parallel *inference* as much as
+training (the paper's introduction targets both).  This module streams
+micro-batches through the forward pass only: each stage executes
+``F(0), F(1), ...`` and the boundary reshardings either block the
+stages (synchronous runtime) or ride the overlap channels.
+
+Two service metrics come out: steady-state **throughput**
+(micro-batches per second once the pipeline is full) and **first-batch
+latency** (the time for micro-batch 0 to exit the last stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pipeline.executor import PipelineResult, simulate_pipeline
+from ..pipeline.schedules import Task
+from ..pipeline.stage import PipelineJob
+from .parallel import METHODS, ParallelJobSpec, resolve_comm_edges
+
+__all__ = ["InferenceResult", "forward_only_orders", "run_inference"]
+
+
+def forward_only_orders(n_stages: int, n_microbatches: int) -> list[list[Task]]:
+    """Streaming forward schedule: every stage runs F(0..m-1) in order."""
+    return [
+        [Task("F", mb) for mb in range(n_microbatches)] for _ in range(n_stages)
+    ]
+
+
+@dataclass
+class InferenceResult:
+    method: str
+    total_time: float
+    first_batch_latency: float
+    throughput_microbatches_per_s: float
+    pipeline: PipelineResult = field(repr=False)
+
+
+def run_inference(
+    spec: ParallelJobSpec,
+    method: str = "ours",
+    n_microbatches: int | None = None,
+) -> InferenceResult:
+    """Stream ``n_microbatches`` through the forward pipeline.
+
+    ``method`` selects the communication strategy and overlap mode from
+    the same table as training (the schedule component is irrelevant:
+    forward-only streaming has a single sensible order).
+    """
+    ms = METHODS[method]
+    m = n_microbatches if n_microbatches is not None else spec.n_microbatches
+    edges = resolve_comm_edges(spec, ms.strategy)
+    job = PipelineJob(stages=spec.profiles, edges=edges, n_microbatches=m)
+    orders = forward_only_orders(len(spec.profiles), m)
+    result = simulate_pipeline(job, orders, overlap=ms.overlap)
+    last = len(spec.profiles) - 1
+    first_exit = min(
+        e.end
+        for e in result.timeline
+        if e.stage == last and e.kind == "F" and e.microbatch == 0
+    )
+    # include the final boundary transfer if the consumer is off-mesh:
+    # here the last stage's output stays put, so first-batch latency is
+    # its forward completion time.
+    return InferenceResult(
+        method=method,
+        total_time=result.iteration_time,
+        first_batch_latency=first_exit,
+        throughput_microbatches_per_s=m / result.iteration_time,
+        pipeline=result,
+    )

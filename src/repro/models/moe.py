@@ -1,0 +1,213 @@
+"""Mixture-of-Experts transformer workload (GShard-style).
+
+A third end-to-end model exercising parts of the library the paper's
+two workloads do not:
+
+* **expert parallelism**: stage meshes carry experts sharded along a
+  mesh axis, paying two intra-mesh all-to-alls per MoE layer (token
+  dispatch and return), timed on the flow simulator;
+* **layout-changing boundary**: stage 0 shards activations along the
+  *batch* axis over its ``(dp, ep)`` mesh while stage 1 shards along
+  the *sequence* axis over a ``(dp*ep, 1)`` mesh (TeraPipe-style
+  token-level sharding for its attention).  The boundary resharding
+  therefore has orthogonal source/destination tilings — the
+  general many-to-many setting of §2.2 (like Table 2's case 4) inside
+  an end-to-end job.
+
+Cost model follows GShard/Switch conventions: alternating dense and MoE
+layers; each MoE layer routes every token to ``top_k`` of ``E``
+experts; expert weights are sharded so each device stores ``E / ep``
+experts but computes the ``top_k / (dp*ep)`` share of routed tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.mesh import DeviceMesh
+from ..pipeline.stage import StageProfile
+from ..sim.cluster import Cluster, ClusterSpec
+from ..sim.collectives import all_to_all
+from ..sim.network import Network
+from .costs import BYTES, DeviceModel, V100, ring_allreduce_time
+from .parallel import Boundary, ParallelJobSpec
+
+__all__ = ["MoEConfig", "build_moe", "moe_params", "dispatch_all_to_all_time"]
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """An MoE transformer sized for the 8-GPU simulated testbed."""
+
+    name: str = "MoE-2.8B"
+    n_layers: int = 16  # alternating dense / MoE
+    hidden: int = 2048
+    n_experts: int = 8
+    top_k: int = 2
+    seq_len: int = 1024
+    vocab: int = 51200
+    global_batch: int = 512
+    #: batch rows of one micro-batch, per device (batch axis fully
+    #: sharded across each stage's devices)
+    micro_batch_per_device: int = 2
+    precision: str = "fp16"
+    dp: int = 2
+    ep: int = 2  # expert-parallel degree (stage-0 mesh columns)
+    pp: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_layers % (2 * self.pp) != 0:
+            raise ValueError("n_layers must divide into pp stages of layer pairs")
+        if self.n_experts % self.ep != 0:
+            raise ValueError("experts must divide by expert parallel degree")
+        if self.global_batch % self.microbatch_rows != 0:
+            raise ValueError("global batch must divide into micro batches")
+
+    @property
+    def devices_per_stage(self) -> int:
+        return self.dp * self.ep
+
+    @property
+    def n_devices(self) -> int:
+        return self.devices_per_stage * self.pp
+
+    @property
+    def microbatch_rows(self) -> int:
+        """Global batch rows of one micro-batch."""
+        return self.micro_batch_per_device * self.devices_per_stage
+
+    @property
+    def n_microbatches(self) -> int:
+        return self.global_batch // self.microbatch_rows
+
+
+def moe_params(cfg: MoEConfig) -> float:
+    """Total parameters: dense layers + E experts per MoE layer."""
+    dense_layers = cfg.n_layers // 2
+    moe_layers = cfg.n_layers - dense_layers
+    dense = dense_layers * 12.0 * cfg.hidden**2
+    # attention (4 H^2) + E expert FFNs (8 H^2 each)
+    moe = moe_layers * (4.0 * cfg.hidden**2 + cfg.n_experts * 8.0 * cfg.hidden**2)
+    return dense + moe + cfg.vocab * cfg.hidden
+
+
+def dispatch_all_to_all_time(cfg: MoEConfig, mesh: DeviceMesh) -> float:
+    """Simulated time of one expert-dispatch all-to-all on ``mesh``.
+
+    Each device holds ``micro_batch_per_device * S`` tokens and routes
+    ``top_k`` copies of each, spread uniformly over the group: per-pair
+    payload ``top_k * b_dev * S * H * itemsize / group``.
+    """
+    group = list(mesh.devices)
+    if len(group) <= 1:
+        return 0.0
+    tokens_bytes = (
+        cfg.top_k
+        * cfg.micro_batch_per_device
+        * cfg.seq_len
+        * cfg.hidden
+        * BYTES[cfg.precision]
+    )
+    net = Network(mesh.cluster)
+    handle = all_to_all(net, group, tokens_bytes / len(group))
+    net.run()
+    return handle.finish_time
+
+
+def build_moe(
+    cfg: MoEConfig = MoEConfig(),
+    device: DeviceModel = V100,
+    cluster: Cluster | None = None,
+) -> ParallelJobSpec:
+    """Instantiate the MoE pipeline job (see module docstring)."""
+    per_stage = cfg.devices_per_stage
+    if cluster is None:
+        cluster = Cluster(ClusterSpec(n_hosts=cfg.pp, devices_per_host=per_stage))
+    if cluster.n_devices < cfg.n_devices:
+        raise ValueError("cluster too small for the MoE config")
+
+    meshes = []
+    for s in range(cfg.pp):
+        flat = [
+            d.device_id for d in cluster.devices[s * per_stage : (s + 1) * per_stage]
+        ]
+        if s == 0:
+            grid = [flat[i * cfg.ep : (i + 1) * cfg.ep] for i in range(cfg.dp)]
+        else:
+            grid = [[d] for d in flat]  # (dp*ep, 1)
+        meshes.append(DeviceMesh(cluster, grid))
+
+    layers_per_stage = cfg.n_layers // cfg.pp
+    dense_per_stage = layers_per_stage // 2
+    moe_per_stage = layers_per_stage - dense_per_stage
+    b_dev = cfg.micro_batch_per_device
+    dev_flops = device.flops(cfg.precision)
+
+    # Per-device FLOPs over b_dev rows: dense layer = full transformer
+    # layer; MoE layer = attention + top_k routed expert FFNs.
+    dense_flops = 24.0 * b_dev * cfg.seq_len * cfg.hidden**2 + (
+        4.0 * b_dev * cfg.seq_len**2 * cfg.hidden
+    )
+    attn_flops = 8.0 * b_dev * cfg.seq_len * cfg.hidden**2 + (
+        4.0 * b_dev * cfg.seq_len**2 * cfg.hidden
+    )
+    ffn_flops = 16.0 * b_dev * cfg.seq_len * cfg.hidden**2 * cfg.top_k
+    moe_flops = attn_flops + ffn_flops
+    stage_flops = dense_per_stage * dense_flops + moe_per_stage * moe_flops
+
+    profiles = []
+    for s in range(cfg.pp):
+        mesh = meshes[s]
+        compute = stage_flops / dev_flops
+        a2a = dispatch_all_to_all_time(cfg, mesh)
+        compute += moe_per_stage * 2 * a2a  # dispatch + return per MoE layer
+        ep_here = cfg.ep if s == 0 else per_stage  # experts spread over group
+        params_stage = moe_params(cfg) / cfg.pp  # rough per-stage split
+        profiles.append(
+            StageProfile(
+                stage_id=s,
+                fwd_time=compute,
+                bwd_x_time=compute,
+                bwd_w_time=compute,
+                params_bytes=params_stage / ep_here * 14.0,
+                activation_bytes=BYTES[cfg.precision]
+                * b_dev
+                * cfg.seq_len
+                * cfg.hidden,
+            )
+        )
+
+    # Batch-sharded on stage 0 (S^{01} over its (dp, ep) mesh) ->
+    # sequence-sharded on stage 1 (dim 1 over its (dp*ep, 1) mesh):
+    # orthogonal tilings, a case-4-like resharding per micro-batch.
+    boundaries = [
+        Boundary(
+            label="act0->1 (batch->sequence)",
+            src_stage=0,
+            dst_stage=1,
+            shape=(cfg.microbatch_rows, cfg.seq_len, cfg.hidden),
+            src_spec="S01RR",
+            dst_spec="RS0R",
+            dtype=cfg.precision,
+        )
+    ]
+
+    flops_iter = 3.0 * cfg.n_microbatches * per_stage * stage_flops * cfg.pp
+    epilogue = ring_allreduce_time(
+        profiles[0].params_bytes / 7.0,  # fp16 grads out of 14 B/param
+        cfg.dp,
+        cluster.spec.intra_host_bandwidth,
+    )
+    return ParallelJobSpec(
+        name=cfg.name,
+        cluster=cluster,
+        stage_meshes=meshes,
+        profiles=profiles,
+        boundaries=boundaries,
+        n_microbatches=cfg.n_microbatches,
+        model_flops_per_iteration=flops_iter,
+        epilogue_time=epilogue,
+        notes=f"{moe_params(cfg) / 1e9:.1f}B params, {cfg.n_experts} experts, "
+        f"batch->sequence boundary across mesh shapes "
+        f"({cfg.dp},{cfg.ep}) -> ({per_stage},1)",
+    )

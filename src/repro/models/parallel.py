@@ -1,0 +1,189 @@
+"""Glue between model cost models, the resharding library, and the
+pipeline executor: build a pipeline job whose cross-mesh communication
+times come from simulating the actual boundary resharding tasks under a
+chosen strategy, then run one training iteration under a chosen
+schedule.
+
+The ``METHODS`` table defines the named systems compared in the paper's
+end-to-end evaluation (Fig. 7) and overlap ablation (Fig. 9):
+
+=============  ==========  ===========  =======  ============
+method         strategy    schedule     overlap  bwd-w delay
+=============  ==========  ===========  =======  ============
+send_recv      send_recv   1F1B         no       no
+alpa           allgather   1F1B         no       no
+broadcast      broadcast   1F1B         no       no
+overlap        broadcast   1F1B         yes      no
+ours           broadcast   eager-1F1B   yes      no
+ours_delay     broadcast   eager-1F1B   yes      yes
+signal         signal      1F1B         yes      no
+=============  ==========  ===========  =======  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.executor import simulate_plan
+from ..core.mesh import DeviceMesh
+from ..core.task import ReshardingTask
+from ..pipeline.executor import PipelineResult, simulate_pipeline
+from ..pipeline.schedules import schedule_job
+from ..pipeline.stage import CommEdge, PipelineJob, StageProfile
+from ..sim.cluster import Cluster
+from ..strategies import make_strategy
+
+__all__ = [
+    "Boundary",
+    "ParallelJobSpec",
+    "MethodSpec",
+    "METHODS",
+    "resolve_comm_edges",
+    "run_iteration",
+    "E2EResult",
+]
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """One tensor crossing between two pipeline stages, per micro-batch."""
+
+    label: str
+    src_stage: int
+    dst_stage: int
+    shape: tuple[int, ...]
+    src_spec: str
+    dst_spec: str
+    dtype: str = "fp32"  # "fp16" | "fp32"
+
+    def nbytes(self) -> float:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n * (2 if self.dtype == "fp16" else 4)
+
+
+@dataclass
+class ParallelJobSpec:
+    """A model-parallel training job before communication resolution."""
+
+    name: str
+    cluster: Cluster
+    stage_meshes: list[DeviceMesh]
+    profiles: list[StageProfile]
+    boundaries: list[Boundary]
+    n_microbatches: int
+    model_flops_per_iteration: float
+    #: per-iteration epilogue outside the pipeline (dp gradient sync)
+    epilogue_time: float = 0.0
+    notes: str = ""
+
+    @property
+    def n_devices(self) -> int:
+        return sum(m.n_devices for m in self.stage_meshes)
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One named end-to-end system configuration."""
+
+    strategy: str
+    schedule: str
+    overlap: bool
+    delay_bw_weight: bool
+
+
+METHODS: dict[str, MethodSpec] = {
+    "send_recv": MethodSpec("send_recv", "1f1b", overlap=False, delay_bw_weight=False),
+    "alpa": MethodSpec("allgather", "1f1b", overlap=False, delay_bw_weight=False),
+    "broadcast": MethodSpec("broadcast", "1f1b", overlap=False, delay_bw_weight=False),
+    "overlap": MethodSpec("broadcast", "1f1b", overlap=True, delay_bw_weight=False),
+    "ours": MethodSpec("broadcast", "eager_1f1b", overlap=True, delay_bw_weight=False),
+    "ours_delay": MethodSpec(
+        "broadcast", "eager_1f1b", overlap=True, delay_bw_weight=True
+    ),
+    "signal": MethodSpec("signal", "1f1b", overlap=True, delay_bw_weight=False),
+}
+
+
+def _np_dtype(name: str):
+    return np.float16 if name == "fp16" else np.float32
+
+
+def resolve_comm_edges(spec: ParallelJobSpec, strategy_name: str) -> list[CommEdge]:
+    """Simulate each boundary resharding (both directions) once.
+
+    Every micro-batch reshards the same tensor with the same layout, so
+    one simulation per (boundary, direction) gives the per-micro-batch
+    communication duration the pipeline executor needs.
+    """
+    strategy = make_strategy(strategy_name)
+    edges: list[CommEdge] = []
+    for b in spec.boundaries:
+        src_mesh = spec.stage_meshes[b.src_stage]
+        dst_mesh = spec.stage_meshes[b.dst_stage]
+        fwd_task = ReshardingTask(
+            b.shape, src_mesh, b.src_spec, dst_mesh, b.dst_spec,
+            dtype=_np_dtype(b.dtype),
+        )
+        fwd_time = simulate_plan(strategy.plan(fwd_task)).total_time
+        bwd_task = ReshardingTask(
+            b.shape, dst_mesh, b.dst_spec, src_mesh, b.src_spec,
+            dtype=_np_dtype(b.dtype),
+        )
+        bwd_time = simulate_plan(strategy.plan(bwd_task)).total_time
+        edges.append(
+            CommEdge(
+                src_stage=b.src_stage,
+                dst_stage=b.dst_stage,
+                fwd_time=fwd_time,
+                bwd_time=bwd_time,
+                fwd_bytes=b.nbytes(),
+                bwd_bytes=b.nbytes(),
+                label=b.label,
+            )
+        )
+    return edges
+
+
+@dataclass
+class E2EResult:
+    """One end-to-end training-iteration measurement."""
+
+    method: str
+    iteration_time: float
+    throughput_tflops: float
+    pipeline: PipelineResult = field(repr=False)
+    comm_edges: list[CommEdge] = field(repr=False, default_factory=list)
+
+
+def run_iteration(
+    spec: ParallelJobSpec,
+    method: str,
+    method_spec: Optional[MethodSpec] = None,
+) -> E2EResult:
+    """Simulate one training iteration of ``spec`` under a named method."""
+    ms = method_spec if method_spec is not None else METHODS[method]
+    edges = resolve_comm_edges(spec, ms.strategy)
+    job = PipelineJob(
+        stages=spec.profiles, edges=edges, n_microbatches=spec.n_microbatches
+    )
+    orders = schedule_job(
+        ms.schedule,
+        n_stages=len(spec.profiles),
+        n_microbatches=spec.n_microbatches,
+        delay_bw_weight=ms.delay_bw_weight,
+    )
+    result = simulate_pipeline(job, orders, overlap=ms.overlap)
+    iter_time = result.iteration_time + spec.epilogue_time
+    tflops = spec.model_flops_per_iteration / iter_time / spec.n_devices / 1e12
+    return E2EResult(
+        method=method,
+        iteration_time=iter_time,
+        throughput_tflops=tflops,
+        pipeline=result,
+        comm_edges=edges,
+    )

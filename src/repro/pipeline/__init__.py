@@ -1,0 +1,56 @@
+"""Pipeline-parallel schedules and execution (paper §4)."""
+
+from .executor import CommEntry, PipelineResult, TimelineEntry, simulate_pipeline
+from .interleaved import (
+    ChunkTask,
+    InterleavedJob,
+    InterleavedResult,
+    interleaved_order,
+    simulate_interleaved,
+)
+from .memory import (
+    StageMemory,
+    analytic_peak_inflight,
+    eager_memory_increase,
+    memory_report,
+)
+from .schedules import (
+    SCHEDULE_NAMES,
+    Task,
+    eager_warmup,
+    fifo_warmup,
+    gpipe_order,
+    one_f_one_b_order,
+    schedule_job,
+    split_backward,
+    stage_order,
+)
+from .stage import CommEdge, PipelineJob, StageProfile
+
+__all__ = [
+    "StageProfile",
+    "CommEdge",
+    "PipelineJob",
+    "Task",
+    "SCHEDULE_NAMES",
+    "gpipe_order",
+    "one_f_one_b_order",
+    "stage_order",
+    "schedule_job",
+    "split_backward",
+    "fifo_warmup",
+    "eager_warmup",
+    "simulate_pipeline",
+    "PipelineResult",
+    "TimelineEntry",
+    "CommEntry",
+    "analytic_peak_inflight",
+    "eager_memory_increase",
+    "memory_report",
+    "StageMemory",
+    "InterleavedJob",
+    "InterleavedResult",
+    "ChunkTask",
+    "interleaved_order",
+    "simulate_interleaved",
+]

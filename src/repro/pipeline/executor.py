@@ -1,0 +1,338 @@
+"""Event-driven execution of a pipeline schedule with cross-mesh comm.
+
+Each stage executes its ordered task list strictly in sequence; a task
+additionally waits for its cross-mesh inputs:
+
+* ``F(s, mb)`` waits for the forward activation of every in-edge, sent
+  when ``F(src, mb)`` finished;
+* ``B``/``Bx``\\ ``(s, mb)`` waits for the activation gradient of every
+  out-edge, sent when the downstream ``B``/``Bx`` finished.
+
+Communication is simulated in one of two modes:
+
+``overlap=False`` ("Broadcast" in Fig. 9)
+    synchronous sends and receives, like blocking NCCL calls issued in
+    program order: after producing, the sender stage is busy for the
+    transfer duration; before consuming, the receiver stage executes a
+    recv that starts no earlier than the matching send and also busies
+    the stage for the transfer duration.  Communication therefore sits
+    on both stages' critical paths — the strict-dependency regime of
+    Fig. 4(a).  (Real runtimes pair these as combined exchange ops,
+    e.g. Megatron's send-forward-recv-backward, which is why modelling
+    the two halves independently rather than as a strict rendezvous is
+    both simpler and deadlock-free.)
+
+``overlap=True``
+    transfers run on a FIFO channel per directed stage pair, concurrently
+    with compute; only data dependencies remain.
+
+Activation memory is tracked per stage (+1 at each ``F``, −1 when the
+micro-batch's backward — ``B`` or delayed ``Bw`` — completes) so the
+schedules' peak-memory trade-off (§4, Table 1) is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..sim.events import EventLoop
+from .schedules import Task
+from .stage import PipelineJob
+
+__all__ = ["TimelineEntry", "CommEntry", "PipelineResult", "simulate_pipeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    stage: int
+    kind: str
+    microbatch: int
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class CommEntry:
+    src_stage: int
+    dst_stage: int
+    direction: str  # "fwd" | "bwd"
+    microbatch: int
+    label: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class _Recv:
+    """A blocking receive the consumer stage executes in program order."""
+
+    edge_idx: int
+    microbatch: int
+    direction: str  # "fwd" | "bwd"
+
+    @property
+    def key(self) -> tuple[int, int, str]:
+        return (self.edge_idx, self.microbatch, self.direction)
+
+    def __repr__(self) -> str:
+        return f"recv(e{self.edge_idx},{self.direction},mb{self.microbatch})"
+
+
+_Item = Union[Task, _Recv]
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of simulating one training iteration."""
+
+    iteration_time: float
+    timeline: list[TimelineEntry]
+    comms: list[CommEntry]
+    peak_activation_counts: dict[int, int]
+    stage_busy_time: dict[int, float]
+    job: PipelineJob = field(repr=False)
+
+    def peak_memory_bytes(self, stage: int) -> float:
+        """Weights/optimizer plus peak live activations of a stage."""
+        prof = self.job.stages[stage]
+        return prof.params_bytes + (
+            self.peak_activation_counts.get(stage, 0) * prof.activation_bytes
+        )
+
+    def throughput_tflops(self, model_flops: float, n_devices: int) -> float:
+        """Aggregate per-GPU TFLOPS given total model FLOPs/iteration."""
+        if self.iteration_time <= 0:
+            raise ValueError("iteration time must be positive")
+        if n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        return model_flops / self.iteration_time / n_devices / 1e12
+
+
+def _validate_orders(job: PipelineJob, orders: list[list[Task]]) -> None:
+    if len(orders) != job.n_stages:
+        raise ValueError(f"need {job.n_stages} task lists, got {len(orders)}")
+    m = job.n_microbatches
+    for s, order in enumerate(orders):
+        fwd = sorted(t.microbatch for t in order if t.kind == "F")
+        if fwd != list(range(m)):
+            raise ValueError(f"stage {s}: forwards {fwd} != 0..{m - 1}")
+        fused = {t.microbatch for t in order if t.kind == "B"}
+        bx = {t.microbatch for t in order if t.kind == "Bx"}
+        bw = {t.microbatch for t in order if t.kind == "Bw"}
+        if fused & (bx | bw):
+            raise ValueError(f"stage {s}: mixes fused B and split Bx/Bw")
+        forward_only = not (fused | bx | bw)
+        if forward_only:
+            continue  # inference: no backward pass at all
+        if fused != set(range(m)) and (bx != set(range(m)) or bw != set(range(m))):
+            raise ValueError(f"stage {s}: backward coverage incomplete")
+        pos: dict[Task, int] = {}
+        for i, t in enumerate(order):
+            if t in pos:
+                raise ValueError(f"stage {s}: duplicate task {t}")
+            pos[t] = i
+        for t in order:
+            if t.kind in ("B", "Bx"):
+                f = Task("F", t.microbatch)
+                if f not in pos or pos[f] > pos[t]:
+                    raise ValueError(
+                        f"stage {s}: backward of mb {t.microbatch} precedes its forward"
+                    )
+            if t.kind == "Bw":
+                x = Task("Bx", t.microbatch)
+                if x not in pos or pos[x] > pos[t]:
+                    raise ValueError(f"stage {s}: Bw{t.microbatch} precedes Bx")
+
+
+def _insert_recvs(job: PipelineJob, orders: list[list[Task]]) -> list[list[_Item]]:
+    """Blocking mode: put an explicit recv before each consuming task."""
+    edge_idx = {id(e): i for i, e in enumerate(job.edges)}
+    out: list[list[_Item]] = []
+    for s, order in enumerate(orders):
+        items: list[_Item] = []
+        for t in order:
+            if t.kind == "F":
+                for e in sorted(job.in_edges(s), key=lambda e: edge_idx[id(e)]):
+                    items.append(_Recv(edge_idx[id(e)], t.microbatch, "fwd"))
+            elif t.kind in ("B", "Bx"):
+                for e in sorted(job.out_edges(s), key=lambda e: edge_idx[id(e)]):
+                    items.append(_Recv(edge_idx[id(e)], t.microbatch, "bwd"))
+            items.append(t)
+        out.append(items)
+    return out
+
+
+def simulate_pipeline(
+    job: PipelineJob,
+    orders: list[list[Task]],
+    overlap: bool = True,
+) -> PipelineResult:
+    """Simulate one training iteration; see module docstring."""
+    _validate_orders(job, orders)
+    loop = EventLoop()
+    n_stages = job.n_stages
+
+    items: list[list[_Item]] = (
+        [list(o) for o in orders] if overlap else _insert_recvs(job, orders)
+    )
+
+    idx = [0] * n_stages
+    running = [False] * n_stages
+    stage_free_at = [0.0] * n_stages  # > now while blocked in sends
+    timeline: list[TimelineEntry] = []
+    comms: list[CommEntry] = []
+    busy = dict.fromkeys(range(n_stages), 0.0)
+
+    # Dependency arrival counters: ("F"|"B", stage, microbatch) -> count.
+    arrived: dict[tuple[str, int, int], int] = {}
+    need_fwd = [len(job.in_edges(s)) for s in range(n_stages)]
+    need_bwd = [len(job.out_edges(s)) for s in range(n_stages)]
+
+    act_count = dict.fromkeys(range(n_stages), 0)
+    peak_act = dict.fromkeys(range(n_stages), 0)
+
+    # Overlap mode: FIFO channel per (src, dst, direction).
+    channel_free: dict[tuple[int, int, str], float] = {}
+    # Blocking mode: when each transfer's data hits the wire.
+    send_started: dict[tuple[int, int, str], float] = {}
+
+    def deps_met(stage: int, t: Task) -> bool:
+        if t.kind == "F":
+            return arrived.get(("F", stage, t.microbatch), 0) >= need_fwd[stage]
+        if t.kind in ("B", "Bx"):
+            return arrived.get(("B", stage, t.microbatch), 0) >= need_bwd[stage]
+        return True  # Bw: local only
+
+    def duration(stage: int, t: Task) -> float:
+        prof = job.stages[stage]
+        if t.kind == "F":
+            return prof.fwd_time
+        if t.kind == "B":
+            return prof.bwd_x_time + prof.bwd_w_time
+        if t.kind == "Bx":
+            return prof.bwd_x_time
+        return prof.bwd_w_time
+
+    def arrival(kind: str, stage: int, mb: int) -> None:
+        key = (kind, stage, mb)
+        arrived[key] = arrived.get(key, 0) + 1
+        try_start(stage)
+
+    def produced_edges(stage: int, t: Task):
+        if t.kind == "F":
+            return [(e, i, e.fwd_time, "fwd", e.dst_stage)
+                    for i, e in enumerate(job.edges) if e.src_stage == stage]
+        if t.kind in ("B", "Bx"):
+            return [(e, i, e.bwd_time, "bwd", e.src_stage)
+                    for i, e in enumerate(job.edges) if e.dst_stage == stage]
+        return []
+
+    def on_compute_done(stage: int, t: Task, start: float) -> None:
+        finish = loop.now
+        timeline.append(TimelineEntry(stage, t.kind, t.microbatch, start, finish))
+        busy[stage] += finish - start
+        if t.kind == "F":
+            act_count[stage] += 1
+            peak_act[stage] = max(peak_act[stage], act_count[stage])
+        elif t.kind in ("B", "Bw"):
+            act_count[stage] -= 1
+        running[stage] = False
+        idx[stage] += 1
+        if overlap:
+            for e, _i, dur, direction, target in produced_edges(stage, t):
+                key = (e.src_stage, e.dst_stage, direction)
+                cstart = max(finish, channel_free.get(key, 0.0))
+                cend = cstart + dur
+                channel_free[key] = cend
+                comms.append(
+                    CommEntry(
+                        e.src_stage, e.dst_stage, direction, t.microbatch,
+                        e.label, cstart, cend,
+                    )
+                )
+                dep_kind = "F" if direction == "fwd" else "B"
+                loop.call_at(
+                    cend,
+                    lambda k=dep_kind, s=target, mb=t.microbatch: arrival(k, s, mb),
+                )
+            try_start(stage)
+        else:
+            # Blocking sends in program order: the stage stays busy for
+            # the sum of its outgoing transfer durations; each transfer
+            # hits the wire when its send begins.
+            block_until = finish
+            for e, i, dur, direction, target in produced_edges(stage, t):
+                send_started[(i, t.microbatch, direction)] = block_until
+                block_until += dur
+                try_start(target)  # its recv may now be startable
+            if block_until > finish:
+                busy[stage] += block_until - finish
+                stage_free_at[stage] = block_until
+                loop.call_at(block_until, lambda s=stage: try_start(s))
+            else:
+                try_start(stage)
+
+    def on_recv_done(stage: int, r: _Recv, start: float) -> None:
+        e = job.edges[r.edge_idx]
+        end = loop.now
+        comms.append(
+            CommEntry(
+                e.src_stage, e.dst_stage, r.direction, r.microbatch, e.label,
+                start, end,
+            )
+        )
+        busy[stage] += end - start
+        running[stage] = False
+        idx[stage] += 1
+        dep_kind = "F" if r.direction == "fwd" else "B"
+        arrival(dep_kind, stage, r.microbatch)  # calls try_start(stage)
+        try_start(stage)
+
+    def try_start(stage: int) -> None:
+        if running[stage] or idx[stage] >= len(items[stage]):
+            return
+        if loop.now < stage_free_at[stage] - 1e-15:
+            return  # still blocked sending; wake-up event queued
+        item = items[stage][idx[stage]]
+        if isinstance(item, _Recv):
+            sent_at = send_started.get(item.key)
+            if sent_at is None:
+                return  # matching send has not started yet
+            e = job.edges[item.edge_idx]
+            dur = e.fwd_time if item.direction == "fwd" else e.bwd_time
+            end = max(loop.now, sent_at) + dur
+            running[stage] = True
+            start = loop.now
+            loop.call_at(end, lambda s=stage, r=item: on_recv_done(s, r, start))
+            return
+        if not deps_met(stage, item):
+            return
+        running[stage] = True
+        start = loop.now
+        loop.call_after(
+            duration(stage, item), lambda s=stage, t=item: on_compute_done(s, t, start)
+        )
+
+    for s in range(n_stages):
+        try_start(s)
+    loop.run()
+
+    unfinished = [s for s in range(n_stages) if idx[s] < len(items[s])]
+    if unfinished:
+        detail = {s: repr(items[s][idx[s]]) for s in unfinished}
+        raise RuntimeError(
+            f"pipeline deadlocked; stages stuck at tasks {detail} "
+            f"(check warm-up depths and edge directions)"
+        )
+    iteration_time = max(
+        [e.end for e in timeline] + [c.end for c in comms], default=0.0
+    )
+    return PipelineResult(
+        iteration_time=iteration_time,
+        timeline=timeline,
+        comms=comms,
+        peak_activation_counts=peak_act,
+        stage_busy_time=busy,
+        job=job,
+    )

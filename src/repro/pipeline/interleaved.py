@@ -1,0 +1,222 @@
+"""Interleaved 1F1B with virtual pipeline stages (Megatron-style).
+
+An extension beyond the paper: each physical stage hosts ``v`` model
+*chunks* (virtual stages); chunk ``c`` of ``V = p*v`` lives on physical
+stage ``c mod p``.  Interleaving shrinks the pipeline bubble from
+``(p-1)/m`` to ``(p-1)/(m*v)`` at the price of ``v`` times as many
+cross-mesh transfers — which makes it an interesting stress test for
+the paper's communication optimizations: the more chunk boundaries, the
+more there is for broadcast + overlap to hide.
+
+The schedule follows Megatron-LM's interleaved 1F1B: warm-up depth
+``(p - rank - 1) * 2 + (v - 1) * p`` forward steps, then one-forward-
+one-backward, with micro-batches processed in groups of ``p``.
+Communication is always overlapped (channel per directed stage pair);
+the blocking mode of the plain executor is deliberately not offered —
+interleaving exists to create overlap opportunities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.events import EventLoop
+
+__all__ = [
+    "ChunkTask",
+    "InterleavedJob",
+    "InterleavedResult",
+    "interleaved_order",
+    "simulate_interleaved",
+]
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One compute step: forward or backward of (chunk, microbatch)."""
+
+    kind: str  # "F" | "B"
+    microbatch: int
+    chunk: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}{self.microbatch}c{self.chunk}"
+
+
+@dataclass(frozen=True)
+class InterleavedJob:
+    """A homogeneous interleaved pipeline job.
+
+    Per-chunk compute costs and a uniform boundary transfer cost (the
+    homogeneous-transformer case; chunk boundaries all carry the same
+    activation tensor).
+    """
+
+    n_stages: int
+    n_virtual: int
+    n_microbatches: int
+    fwd_time: float  # per chunk per micro-batch
+    bwd_time: float
+    comm_fwd: float  # per chunk-boundary transfer
+    comm_bwd: float
+    activation_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 1 or self.n_virtual < 1:
+            raise ValueError("need at least one stage and one chunk")
+        if self.n_microbatches < 1:
+            raise ValueError("need at least one micro-batch")
+        if self.n_microbatches % self.n_stages != 0:
+            raise ValueError(
+                "interleaved 1F1B needs micro-batches divisible by the "
+                f"number of stages ({self.n_microbatches} % {self.n_stages})"
+            )
+        if min(self.fwd_time, self.bwd_time, self.comm_fwd, self.comm_bwd) < 0:
+            raise ValueError("times must be non-negative")
+
+    @property
+    def n_chunks(self) -> int:
+        return self.n_stages * self.n_virtual
+
+    def stage_of(self, chunk: int) -> int:
+        return chunk % self.n_stages
+
+
+def interleaved_order(job: InterleavedJob, rank: int) -> list[ChunkTask]:
+    """Megatron's interleaved 1F1B step order for one physical stage."""
+    p, v, m = job.n_stages, job.n_virtual, job.n_microbatches
+    if not 0 <= rank < p:
+        raise ValueError(f"rank {rank} outside [0, {p})")
+    total = m * v
+
+    def f_task(step: int) -> ChunkTask:
+        chunk_local = (step // p) % v
+        mb = (step // (p * v)) * p + step % p
+        return ChunkTask("F", mb, chunk_local * p + rank)
+
+    def b_task(step: int) -> ChunkTask:
+        chunk_local = v - 1 - ((step // p) % v)
+        mb = (step // (p * v)) * p + step % p
+        return ChunkTask("B", mb, chunk_local * p + rank)
+
+    warmup = min(total, (p - rank - 1) * 2 + (v - 1) * p)
+    order: list[ChunkTask] = [f_task(s) for s in range(warmup)]
+    fstep, bstep = warmup, 0
+    while fstep < total:
+        order.append(f_task(fstep))
+        fstep += 1
+        order.append(b_task(bstep))
+        bstep += 1
+    while bstep < total:
+        order.append(b_task(bstep))
+        bstep += 1
+    return order
+
+
+@dataclass
+class InterleavedResult:
+    iteration_time: float
+    timeline: list[tuple[int, ChunkTask, float, float]]  # (stage, task, start, end)
+    peak_activation_counts: dict[int, int]
+    job: InterleavedJob = field(repr=False)
+
+    def bubble_fraction(self) -> float:
+        """Idle fraction of the busiest stage."""
+        busy = {}
+        for stage, _t, start, end in self.timeline:
+            busy[stage] = busy.get(stage, 0.0) + (end - start)
+        return 1.0 - max(busy.values()) / self.iteration_time
+
+
+def simulate_interleaved(job: InterleavedJob) -> InterleavedResult:
+    """Event-driven execution of the interleaved schedule (overlapped).
+
+    Dependencies: ``F(c, mb)`` waits for the activation of chunk
+    ``c-1``; ``B(c, mb)`` for the gradient from chunk ``c+1``; the last
+    chunk's backward starts from its own forward.  Transfers occupy a
+    FIFO channel per (src stage, dst stage, direction).
+    """
+    loop = EventLoop()
+    p = job.n_stages
+    orders = [interleaved_order(job, r) for r in range(p)]
+
+    idx = [0] * p
+    running = [False] * p
+    arrived: set[tuple[str, int, int]] = set()  # (kind, chunk, microbatch)
+    timeline: list[tuple[int, ChunkTask, float, float]] = []
+    act = dict.fromkeys(range(p), 0)
+    peak = dict.fromkeys(range(p), 0)
+    channel_free: dict[tuple[int, int, str], float] = {}
+    done: set[tuple[str, int, int]] = set()
+
+    def deps_met(t: ChunkTask) -> bool:
+        if t.kind == "F":
+            return t.chunk == 0 or ("F", t.chunk, t.microbatch) in arrived
+        if t.chunk == job.n_chunks - 1:
+            return ("F", t.chunk, t.microbatch) in done
+        return ("B", t.chunk, t.microbatch) in arrived
+
+    def send(kind: str, src_chunk: int, mb: int) -> None:
+        """Transfer the produced tensor to the neighbouring chunk."""
+        if kind == "F":
+            dst_chunk = src_chunk + 1
+            if dst_chunk >= job.n_chunks:
+                return
+            dur, direction = job.comm_fwd, "fwd"
+            key_kind = "F"
+        else:
+            dst_chunk = src_chunk - 1
+            if dst_chunk < 0:
+                return
+            dur, direction = job.comm_bwd, "bwd"
+            key_kind = "B"
+        src_stage, dst_stage = job.stage_of(src_chunk), job.stage_of(dst_chunk)
+        ch = (src_stage, dst_stage, direction)
+        start = max(loop.now, channel_free.get(ch, 0.0))
+        end = start + dur
+        channel_free[ch] = end
+
+        def deliver(kk=key_kind, dc=dst_chunk, mb=mb, ds=dst_stage) -> None:
+            arrived.add((kk, dc, mb))
+            try_start(ds)
+
+        loop.call_at(end, deliver)
+
+    def on_complete(stage: int, t: ChunkTask, start: float) -> None:
+        timeline.append((stage, t, start, loop.now))
+        done.add((t.kind, t.chunk, t.microbatch))
+        if t.kind == "F":
+            act[stage] += 1
+            peak[stage] = max(peak[stage], act[stage])
+        else:
+            act[stage] -= 1
+        running[stage] = False
+        idx[stage] += 1
+        send(t.kind, t.chunk, t.microbatch)
+        try_start(stage)
+
+    def try_start(stage: int) -> None:
+        if running[stage] or idx[stage] >= len(orders[stage]):
+            return
+        t = orders[stage][idx[stage]]
+        if not deps_met(t):
+            return
+        running[stage] = True
+        start = loop.now
+        dur = job.fwd_time if t.kind == "F" else job.bwd_time
+        loop.call_after(dur, lambda: on_complete(stage, t, start))
+
+    for s in range(p):
+        try_start(s)
+    loop.run()
+
+    stuck = [s for s in range(p) if idx[s] < len(orders[s])]
+    if stuck:
+        detail = {s: repr(orders[s][idx[s]]) for s in stuck}
+        raise RuntimeError(f"interleaved schedule deadlocked at {detail}")
+    return InterleavedResult(
+        iteration_time=max((end for _s, _t, _a, end in timeline), default=0.0),
+        timeline=timeline,
+        peak_activation_counts=peak,
+        job=job,
+    )

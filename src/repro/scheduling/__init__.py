@@ -1,0 +1,39 @@
+"""Load balancing and scheduling of unit communication tasks (paper §3.2)."""
+
+from .algorithms import (
+    brute_force_schedule,
+    dfs_schedule,
+    ensemble_schedule,
+    load_balance_schedule,
+    naive_schedule,
+    randomized_greedy_schedule,
+)
+from .problem import (
+    Schedule,
+    SchedTask,
+    SchedulingProblem,
+    evaluate,
+    validate_schedule,
+)
+
+__all__ = [
+    "Schedule",
+    "SchedTask",
+    "SchedulingProblem",
+    "evaluate",
+    "validate_schedule",
+    "naive_schedule",
+    "load_balance_schedule",
+    "dfs_schedule",
+    "randomized_greedy_schedule",
+    "ensemble_schedule",
+    "brute_force_schedule",
+]
+
+SCHEDULERS = {
+    "naive": naive_schedule,
+    "load_balance": load_balance_schedule,
+    "dfs": dfs_schedule,
+    "randomized_greedy": randomized_greedy_schedule,
+    "ensemble": ensemble_schedule,
+}

@@ -1,0 +1,296 @@
+"""Load-balancing and scheduling algorithms from §3.2.
+
+* :func:`naive_schedule` — first (lowest-indexed) sender host, task-id
+  order; the paper's baseline.
+* :func:`load_balance_schedule` — the classical LPT greedy: sort tasks
+  by descending duration, assign each to the currently lightest sender
+  host; order is the sorted order.
+* :func:`dfs_schedule` — depth-first search over (assignment, order)
+  decisions with lower-bound pruning and a wall-clock budget.
+* :func:`randomized_greedy_schedule` — iterative rounds; each round
+  picks, via random restarts, a conflict-free task set maximizing the
+  number of devices involved.
+* :func:`ensemble_schedule` — run DFS and randomized greedy, keep the
+  better result (the paper's "ours" in the Fig. 8 ablation).
+* :func:`brute_force_schedule` — exact, for optimality tests on tiny
+  instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from typing import Optional
+
+from .problem import Schedule, SchedulingProblem, evaluate
+
+__all__ = [
+    "naive_schedule",
+    "load_balance_schedule",
+    "dfs_schedule",
+    "randomized_greedy_schedule",
+    "ensemble_schedule",
+    "brute_force_schedule",
+]
+
+
+def _finalize(
+    problem: SchedulingProblem,
+    assignment: dict[int, int],
+    order: tuple[int, ...],
+    algorithm: str,
+) -> Schedule:
+    makespan, starts = evaluate(problem, assignment, order)
+    return Schedule(
+        assignment=dict(assignment),
+        order=tuple(order),
+        makespan=makespan,
+        algorithm=algorithm,
+        start_times=starts,
+    )
+
+
+# ----------------------------------------------------------------------
+def naive_schedule(problem: SchedulingProblem) -> Schedule:
+    """Lowest-indexed sender host; arbitrary (task id) global order."""
+    assignment = {t.task_id: min(t.sender_host_options) for t in problem.tasks}
+    order = tuple(sorted(t.task_id for t in problem.tasks))
+    return _finalize(problem, assignment, order, "naive")
+
+
+# ----------------------------------------------------------------------
+def load_balance_schedule(problem: SchedulingProblem) -> Schedule:
+    """LPT greedy solving the minimax sender-load relaxation (Eq. 4)."""
+    load: dict[int, float] = {}
+    assignment: dict[int, int] = {}
+    # Descending duration (use the max over options as the sort key so
+    # ties are broken deterministically), then assign to lightest host.
+    tasks = sorted(
+        problem.tasks,
+        key=lambda t: (-max(t.duration_by_host.values()), t.task_id),
+    )
+    order = []
+    for t in tasks:
+        best = min(
+            t.sender_host_options,
+            key=lambda h: (load.get(h, 0.0) + t.duration(h), h),
+        )
+        assignment[t.task_id] = best
+        load[best] = load.get(best, 0.0) + t.duration(best)
+        order.append(t.task_id)
+    return _finalize(problem, assignment, order, "load_balance")
+
+
+# ----------------------------------------------------------------------
+def dfs_schedule(
+    problem: SchedulingProblem,
+    time_budget: float = 0.2,
+    initial_best: Optional[Schedule] = None,
+) -> Schedule:
+    """Branch over (next task, sender host) with lower-bound pruning.
+
+    The bound below a partial schedule is the larger of (a) the current
+    partial makespan and (b) for each host, its committed busy time plus
+    the total duration of remaining tasks *forced* through it (single
+    sender option or receiver membership) — the per-device load bound of
+    Eq. 4.  Search stops at ``time_budget`` seconds and returns the best
+    complete schedule found (falling back to LPT if none completed).
+    """
+    deadline = time.monotonic() + time_budget
+    best = initial_best if initial_best is not None else load_balance_schedule(problem)
+    best_makespan = best.makespan
+    tasks = {t.task_id: t for t in problem.tasks}
+    all_ids = sorted(tasks)
+    # Remaining-work lower bound per host is maintained incrementally:
+    # forced_load[h] = sum of min-durations of unscheduled tasks that must
+    # occupy host h (as a receiver, or as the only sender option).
+    forced_load: dict[int, float] = {}
+
+    def forced_hosts(t) -> set[int]:
+        hosts = set(t.receiver_hosts)
+        if len(t.sender_host_options) == 1:
+            hosts.add(t.sender_host_options[0])
+        return hosts
+
+    for t in tasks.values():
+        d = min(t.duration_by_host.values())
+        for h in forced_hosts(t):
+            forced_load[h] = forced_load.get(h, 0.0) + d
+
+    host_free: dict[int, float] = {}
+    assignment: dict[int, int] = {}
+    order: list[int] = []
+    remaining = set(all_ids)
+    out_of_time = False
+
+    def bound(partial_makespan: float) -> float:
+        b = partial_makespan
+        for h, extra in forced_load.items():
+            b = max(b, host_free.get(h, 0.0) + extra)
+        return b
+
+    def recurse(partial_makespan: float) -> None:
+        nonlocal best, best_makespan, out_of_time
+        if out_of_time or time.monotonic() > deadline:
+            out_of_time = True
+            return
+        if not remaining:
+            if partial_makespan < best_makespan - 1e-15:
+                best_makespan = partial_makespan
+                best = _finalize(problem, assignment, tuple(order), "dfs")
+            return
+        if bound(partial_makespan) >= best_makespan - 1e-15:
+            return
+        # Branch on longer tasks first; they constrain the bound most.
+        cand = sorted(
+            remaining,
+            key=lambda tid: (-max(tasks[tid].duration_by_host.values()), tid),
+        )
+        for tid in cand:
+            t = tasks[tid]
+            fh = forced_hosts(t)
+            dmin = min(t.duration_by_host.values())
+            for h in t.sender_host_options:
+                dur = t.duration(h)
+                hosts = t.hosts(h)
+                start = max((host_free.get(x, 0.0) for x in hosts), default=0.0)
+                finish = start + dur
+                # -- apply
+                saved = {x: host_free.get(x, 0.0) for x in hosts}
+                for x in hosts:
+                    host_free[x] = finish
+                for x in fh:
+                    forced_load[x] -= dmin
+                remaining.discard(tid)
+                assignment[tid] = h
+                order.append(tid)
+                recurse(max(partial_makespan, finish))
+                # -- undo
+                order.pop()
+                del assignment[tid]
+                remaining.add(tid)
+                for x in fh:
+                    forced_load[x] += dmin
+                for x, v in saved.items():
+                    host_free[x] = v
+                if out_of_time:
+                    return
+
+    recurse(0.0)
+    return Schedule(
+        assignment=best.assignment,
+        order=best.order,
+        makespan=best.makespan,
+        algorithm="dfs",
+        start_times=best.start_times,
+    )
+
+
+# ----------------------------------------------------------------------
+def randomized_greedy_schedule(
+    problem: SchedulingProblem,
+    n_trials: int = 32,
+    seed: int = 0,
+) -> Schedule:
+    """Iterative rounds of randomized maximal conflict-free sets.
+
+    Each round repeatedly shuffles the remaining tasks and greedily
+    keeps those that can run concurrently with the set built so far
+    (no shared sender or receiver host); the trial covering the most
+    devices wins the round.  Concatenating rounds yields the global
+    order; list scheduling then recovers concurrency inside rounds.
+    """
+    rng = random.Random(seed)
+    remaining = {t.task_id: t for t in problem.tasks}
+    assignment: dict[int, int] = {}
+    order: list[int] = []
+    while remaining:
+        best_set: list[tuple[int, int]] = []  # (task_id, host)
+        best_score = -1
+        ids = sorted(remaining)
+        for _ in range(n_trials):
+            perm = ids[:]
+            rng.shuffle(perm)
+            used_hosts: set[int] = set()
+            chosen: list[tuple[int, int]] = []
+            score = 0
+            for tid in perm:
+                t = remaining[tid]
+                if used_hosts & t.receiver_hosts:
+                    continue
+                # Prefer the fastest compatible sender host.
+                options = [h for h in t.sender_host_options if h not in used_hosts]
+                if not options:
+                    continue
+                h = min(options, key=lambda x: (t.duration(x), x))
+                chosen.append((tid, h))
+                used_hosts |= t.hosts(h)
+                score += t.n_devices
+            if score > best_score:
+                best_score = score
+                best_set = chosen
+        for tid, h in sorted(best_set):
+            assignment[tid] = h
+            order.append(tid)
+            del remaining[tid]
+    return _finalize(problem, assignment, tuple(order), "randomized_greedy")
+
+
+# ----------------------------------------------------------------------
+def ensemble_schedule(
+    problem: SchedulingProblem,
+    dfs_budget: float = 0.2,
+    n_trials: int = 32,
+    seed: int = 0,
+    dfs_max_tasks: int = 20,
+) -> Schedule:
+    """The paper's "ours": best of DFS-with-pruning and randomized greedy.
+
+    DFS is skipped beyond ``dfs_max_tasks`` tasks, where the paper
+    observes it cannot find good schedules within the budget.
+    """
+    rg = randomized_greedy_schedule(problem, n_trials=n_trials, seed=seed)
+    if problem.n_tasks > dfs_max_tasks:
+        return Schedule(
+            assignment=rg.assignment,
+            order=rg.order,
+            makespan=rg.makespan,
+            algorithm="ensemble",
+            start_times=rg.start_times,
+        )
+    df = dfs_schedule(problem, time_budget=dfs_budget, initial_best=rg)
+    winner = df if df.makespan <= rg.makespan else rg
+    return Schedule(
+        assignment=winner.assignment,
+        order=winner.order,
+        makespan=winner.makespan,
+        algorithm="ensemble",
+        start_times=winner.start_times,
+    )
+
+
+# ----------------------------------------------------------------------
+def brute_force_schedule(problem: SchedulingProblem, max_tasks: int = 7) -> Schedule:
+    """Exact minimum over all assignments and orders (test oracle)."""
+    if problem.n_tasks > max_tasks:
+        raise ValueError(
+            f"brute force limited to {max_tasks} tasks, got {problem.n_tasks}"
+        )
+    ids = [t.task_id for t in problem.tasks]
+    best: Optional[Schedule] = None
+    option_lists = [problem.by_id(tid).sender_host_options for tid in ids]
+    for choices in itertools.product(*option_lists):
+        assignment = dict(zip(ids, choices))
+        for order in itertools.permutations(ids):
+            makespan, starts = evaluate(problem, assignment, order)
+            if best is None or makespan < best.makespan - 1e-15:
+                best = Schedule(
+                    assignment=dict(assignment),
+                    order=tuple(order),
+                    makespan=makespan,
+                    algorithm="brute_force",
+                    start_times=starts,
+                )
+    assert best is not None
+    return best

@@ -1,0 +1,43 @@
+"""Simulated GPU cluster: event loop, topology, flow network, collectives.
+
+This package substitutes for the paper's physical testbed (NCCL on a
+V100/NVLink/10-Gbps-Ethernet cluster).  See DESIGN.md §2 for the
+substitution argument.
+"""
+
+from .cluster import GB, GBPS, Cluster, ClusterSpec, Device, Host
+from .collectives import all_reduce, all_to_all, reduce_scatter
+from .events import EventLoop
+from .network import Flow, FlowRecord, Network
+from .primitives import (
+    DEFAULT_BROADCAST_CHUNKS,
+    CollectiveHandle,
+    p2p,
+    ring_allgather,
+    ring_broadcast,
+    ring_order,
+    scatter,
+)
+
+__all__ = [
+    "GB",
+    "GBPS",
+    "Cluster",
+    "ClusterSpec",
+    "Device",
+    "Host",
+    "EventLoop",
+    "Flow",
+    "FlowRecord",
+    "Network",
+    "CollectiveHandle",
+    "DEFAULT_BROADCAST_CHUNKS",
+    "p2p",
+    "ring_allgather",
+    "ring_broadcast",
+    "ring_order",
+    "scatter",
+    "all_to_all",
+    "reduce_scatter",
+    "all_reduce",
+]

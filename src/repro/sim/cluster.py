@@ -1,0 +1,170 @@
+"""Cluster topology model.
+
+Mirrors the testbed of the paper's §5: nodes (hosts) each carrying several
+GPUs (devices), fast intra-node interconnect (NVLink) and a slower
+inter-node network (Ethernet/InfiniBand) with these properties (paper §3):
+
+* fast intra-node, slow inter-node communication;
+* a fully-connected, non-blocking fabric between hosts (bandwidth between a
+  host pair is unaffected by other pairs);
+* the communication bottleneck sits at each *host's* NIC, not at devices;
+* full duplex: separate send and receive bandwidth everywhere.
+
+The classes here are pure topology description; the timing behaviour lives
+in :mod:`repro.sim.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ClusterSpec", "Device", "Host", "Cluster", "GBPS", "GB"]
+
+GBPS = 1e9 / 8.0  # 1 Gbit/s in bytes/second
+GB = 1 << 30  # one gibibyte in bytes
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Parameters of a simulated GPU cluster.
+
+    Defaults reproduce the paper's AWS testbed: p3.8xlarge nodes with
+    4 V100 GPUs connected by NVLink, 10 Gbps inter-node bandwidth.
+
+    ``host_bandwidth_overrides`` models heterogeneous networking (one of
+    the paper's §1 challenges): a mapping ``host_id -> NIC bandwidth``
+    for hosts whose links differ from ``inter_host_bandwidth`` (e.g. a
+    mixed 10/25 Gbps fleet).
+    """
+
+    n_hosts: int = 2
+    devices_per_host: int = 4
+    #: host NIC bandwidth, bytes/s, each direction (full duplex)
+    inter_host_bandwidth: float = 10 * GBPS
+    #: per-device NVLink bandwidth, bytes/s, each direction
+    intra_host_bandwidth: float = 100e9
+    #: fixed per-transfer latency across hosts (TCP/IB handshake), seconds
+    inter_host_latency: float = 100e-6
+    #: fixed per-transfer latency within a host (NVLink/driver), seconds
+    intra_host_latency: float = 5e-6
+    #: per-host NIC bandwidth overrides, bytes/s (heterogeneous fleets)
+    host_bandwidth_overrides: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise ValueError(f"n_hosts must be >= 1, got {self.n_hosts}")
+        if self.devices_per_host < 1:
+            raise ValueError(
+                f"devices_per_host must be >= 1, got {self.devices_per_host}"
+            )
+        if self.inter_host_bandwidth <= 0 or self.intra_host_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.inter_host_latency < 0 or self.intra_host_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        for host, bw in self.host_bandwidth_overrides:
+            if not 0 <= host < self.n_hosts:
+                raise ValueError(f"override references unknown host {host}")
+            if bw <= 0:
+                raise ValueError(f"override bandwidth must be positive, got {bw}")
+
+    @property
+    def n_devices(self) -> int:
+        return self.n_hosts * self.devices_per_host
+
+    def host_nic_bandwidth(self, host: int) -> float:
+        """NIC bandwidth of ``host``, honouring overrides."""
+        for h, bw in self.host_bandwidth_overrides:
+            if h == host:
+                return bw
+        return self.inter_host_bandwidth
+
+
+@dataclass(frozen=True)
+class Device:
+    """A single accelerator (GPU) in the cluster."""
+
+    device_id: int
+    host_id: int
+    local_id: int  # index within its host
+
+    def __repr__(self) -> str:  # compact, used heavily in traces
+        return f"d{self.device_id}(h{self.host_id})"
+
+
+@dataclass(frozen=True)
+class Host:
+    """A node holding several devices and one NIC."""
+
+    host_id: int
+    devices: tuple[Device, ...] = field(default_factory=tuple)
+
+
+class Cluster:
+    """A concrete cluster instantiated from a :class:`ClusterSpec`.
+
+    Device ids are global and dense: host ``h`` owns devices
+    ``[h * devices_per_host, (h+1) * devices_per_host)``.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.devices: list[Device] = []
+        self.hosts: list[Host] = []
+        for h in range(spec.n_hosts):
+            devs = tuple(
+                Device(device_id=h * spec.devices_per_host + i, host_id=h, local_id=i)
+                for i in range(spec.devices_per_host)
+            )
+            self.hosts.append(Host(host_id=h, devices=devs))
+            self.devices.extend(devs)
+
+    # ------------------------------------------------------------------
+    def device(self, device_id: int) -> Device:
+        if not 0 <= device_id < len(self.devices):
+            raise KeyError(f"no device {device_id} in cluster of {len(self.devices)}")
+        return self.devices[device_id]
+
+    def host_of(self, device_id: int) -> int:
+        """Host id owning ``device_id``."""
+        return self.device(device_id).host_id
+
+    def same_host(self, a: int, b: int) -> bool:
+        return self.host_of(a) == self.host_of(b)
+
+    def hosts_of(self, device_ids) -> set[int]:
+        """The set of host ids covering the given devices."""
+        return {self.host_of(d) for d in device_ids}
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    # ------------------------------------------------------------------
+    def link_bandwidth(self, src: int, dst: int) -> float:
+        """Point-to-point bandwidth (bytes/s) between two devices."""
+        if src == dst:
+            raise ValueError("no link from a device to itself")
+        if self.same_host(src, dst):
+            return self.spec.intra_host_bandwidth
+        return min(
+            self.spec.host_nic_bandwidth(self.host_of(src)),
+            self.spec.host_nic_bandwidth(self.host_of(dst)),
+        )
+
+    def link_latency(self, src: int, dst: int) -> float:
+        """Fixed startup latency (s) between two devices."""
+        if src == dst:
+            raise ValueError("no link from a device to itself")
+        if self.same_host(src, dst):
+            return self.spec.intra_host_latency
+        return self.spec.inter_host_latency
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(hosts={self.n_hosts}, devices_per_host="
+            f"{self.spec.devices_per_host})"
+        )

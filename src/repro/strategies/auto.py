@@ -1,0 +1,53 @@
+"""Auto strategy: pick the fastest plan by offline simulation.
+
+Real systems tune communication choices ahead of time (the paper's
+library chooses broadcast because it is provably optimal for its
+setting; Alpa's compiler more generally picks per-case).  Since our
+simulator is cheap, the auto strategy simply compiles every candidate
+strategy, simulates each plan once, and returns the fastest — a small,
+honest autotuner that is also a useful regression oracle: broadcast
+should (almost) always win cross-mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.executor import simulate_plan
+from ..core.plan import CommPlan
+from ..core.task import ReshardingTask
+from .allgather import AllGatherStrategy
+from .base import CommStrategy
+from .broadcast import BroadcastStrategy
+from .send_recv import SendRecvStrategy
+
+__all__ = ["AutoStrategy"]
+
+
+class AutoStrategy(CommStrategy):
+    name = "auto"
+
+    def __init__(self, candidates: Optional[Sequence[CommStrategy]] = None) -> None:
+        self.candidates: tuple[CommStrategy, ...] = (
+            tuple(candidates)
+            if candidates is not None
+            else (SendRecvStrategy(), AllGatherStrategy(), BroadcastStrategy())
+        )
+        if not self.candidates:
+            raise ValueError("need at least one candidate strategy")
+        #: (strategy name, simulated latency) pairs of the last plan() call
+        self.last_scores: list[tuple[str, float]] = []
+
+    def plan(self, task: ReshardingTask) -> CommPlan:
+        best_plan: Optional[CommPlan] = None
+        best_time = float("inf")
+        self.last_scores = []
+        for strat in self.candidates:
+            plan = strat.plan(task)
+            t = simulate_plan(plan).total_time
+            self.last_scores.append((strat.name, t))
+            if t < best_time:
+                best_time = t
+                best_plan = plan
+        assert best_plan is not None
+        return best_plan

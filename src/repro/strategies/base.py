@@ -1,0 +1,69 @@
+"""Strategy interface: compile a resharding task into a CommPlan."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Sequence
+
+from ..core.plan import CommPlan
+from ..core.task import ReshardingTask
+
+__all__ = ["CommStrategy", "LoadTracker"]
+
+
+class CommStrategy(ABC):
+    """Compiles :class:`ReshardingTask` -> :class:`CommPlan`."""
+
+    #: short identifier used in benchmarks and result tables
+    name: str = "abstract"
+
+    @abstractmethod
+    def plan(self, task: ReshardingTask) -> CommPlan:
+        """Produce the communication plan for one resharding task."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LoadTracker:
+    """Greedy sender selection by accumulated outgoing bytes.
+
+    The paper's baselines "do load balancing with a greedy approach
+    which picks the sender with the lowest load for the next data
+    slice" (§5.1.2); load is tracked at host level (hosts are the
+    bottleneck) with per-device load as tie-break.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.host_load: dict[int, float] = defaultdict(float)
+        self.device_load: dict[int, float] = defaultdict(float)
+
+    def pick(self, candidates: Sequence[int], nbytes: float) -> int:
+        """Choose the least-loaded candidate device and charge it."""
+        if not candidates:
+            raise ValueError("no sender candidates")
+        best = min(
+            candidates,
+            key=lambda d: (
+                self.host_load[self.cluster.host_of(d)],
+                self.device_load[d],
+                d,
+            ),
+        )
+        self.charge(best, nbytes)
+        return best
+
+    def pick_on_host(self, candidates: Sequence[int], host: int, nbytes: float) -> int:
+        """Choose the least-loaded candidate on a fixed host."""
+        on_host = [d for d in candidates if self.cluster.host_of(d) == host]
+        if not on_host:
+            raise ValueError(f"no sender candidate on host {host}")
+        best = min(on_host, key=lambda d: (self.device_load[d], d))
+        self.charge(best, nbytes)
+        return best
+
+    def charge(self, device: int, nbytes: float) -> None:
+        self.device_load[device] += nbytes
+        self.host_load[self.cluster.host_of(device)] += nbytes

@@ -1,0 +1,107 @@
+"""Chrome-trace (catapult JSON) export for simulation results.
+
+Both the pipeline executor's timeline and the network simulator's flow
+trace can be dumped in the ``chrome://tracing`` / Perfetto "trace event"
+format for interactive inspection:
+
+* pipeline: one process per stage, tracks for compute and transfers;
+* network: one process per host, one track per device.
+
+Timestamps are microseconds (the format's convention).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from ..pipeline.executor import PipelineResult
+from ..sim.cluster import Cluster
+from ..sim.network import FlowRecord
+
+__all__ = ["pipeline_trace_events", "flow_trace_events", "write_chrome_trace"]
+
+_US = 1e6
+
+
+def pipeline_trace_events(result: PipelineResult) -> list[dict]:
+    """Trace events for one simulated training iteration."""
+    events: list[dict] = []
+    for s in range(result.job.n_stages):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": s,
+                "args": {"name": f"stage {s}"},
+            }
+        )
+    for e in result.timeline:
+        events.append(
+            {
+                "name": f"{e.kind}{e.microbatch}",
+                "cat": "compute",
+                "ph": "X",
+                "ts": e.start * _US,
+                "dur": (e.end - e.start) * _US,
+                "pid": e.stage,
+                "tid": 0,
+                "args": {"microbatch": e.microbatch},
+            }
+        )
+    for c in result.comms:
+        events.append(
+            {
+                "name": f"{c.label or 'comm'} mb{c.microbatch} {c.direction}",
+                "cat": "comm",
+                "ph": "X",
+                "ts": c.start * _US,
+                "dur": (c.end - c.start) * _US,
+                "pid": c.src_stage,
+                "tid": 1 if c.direction == "fwd" else 2,
+                "args": {
+                    "src_stage": c.src_stage,
+                    "dst_stage": c.dst_stage,
+                    "direction": c.direction,
+                },
+            }
+        )
+    return events
+
+
+def flow_trace_events(trace: Sequence[FlowRecord], cluster: Cluster) -> list[dict]:
+    """Trace events for the flow-level network simulation."""
+    events: list[dict] = []
+    for host in cluster.hosts:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": host.host_id,
+                "args": {"name": f"host {host.host_id}"},
+            }
+        )
+    for rec in trace:
+        events.append(
+            {
+                "name": rec.tag or f"flow{rec.flow_id}",
+                "cat": "intra" if cluster.same_host(rec.src, rec.dst) else "cross",
+                "ph": "X",
+                "ts": rec.start_time * _US,
+                "dur": max(rec.duration * _US, 0.01),
+                "pid": cluster.host_of(rec.src),
+                "tid": cluster.device(rec.src).local_id,
+                "args": {
+                    "src": rec.src,
+                    "dst": rec.dst,
+                    "bytes": rec.nbytes,
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(events: list[dict], path: str) -> None:
+    """Write events as a Chrome-tracing JSON file."""
+    with open(path, "w") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f)

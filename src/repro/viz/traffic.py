@@ -1,0 +1,86 @@
+"""Traffic matrices and utilization summaries from simulation traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.cluster import Cluster
+from ..sim.network import FlowRecord
+
+__all__ = ["host_traffic_matrix", "device_traffic_matrix", "LinkStats", "link_stats", "format_matrix"]
+
+
+def host_traffic_matrix(trace: Sequence[FlowRecord], cluster: Cluster) -> np.ndarray:
+    """Bytes sent host->host (cross-host flows only), shape (H, H)."""
+    m = np.zeros((cluster.n_hosts, cluster.n_hosts))
+    for rec in trace:
+        hs, hd = cluster.host_of(rec.src), cluster.host_of(rec.dst)
+        if hs != hd:
+            m[hs, hd] += rec.nbytes
+    return m
+
+
+def device_traffic_matrix(trace: Sequence[FlowRecord], cluster: Cluster) -> np.ndarray:
+    """Bytes sent device->device, shape (D, D)."""
+    m = np.zeros((cluster.n_devices, cluster.n_devices))
+    for rec in trace:
+        m[rec.src, rec.dst] += rec.nbytes
+    return m
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Utilization of one host's NIC over a window."""
+
+    host: int
+    bytes_sent: float
+    bytes_received: float
+    send_utilization: float
+    recv_utilization: float
+
+
+def link_stats(
+    trace: Sequence[FlowRecord], cluster: Cluster, window: float
+) -> list[LinkStats]:
+    """Per-host NIC utilization over ``[0, window]`` seconds.
+
+    Utilization is bytes moved divided by the NIC's capacity over the
+    window — the quantity the paper's load-balance objective evens out.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    sent = np.zeros(cluster.n_hosts)
+    recv = np.zeros(cluster.n_hosts)
+    for rec in trace:
+        hs, hd = cluster.host_of(rec.src), cluster.host_of(rec.dst)
+        if hs == hd:
+            continue
+        sent[hs] += rec.nbytes
+        recv[hd] += rec.nbytes
+    cap = cluster.spec.inter_host_bandwidth * window
+    return [
+        LinkStats(
+            host=h,
+            bytes_sent=float(sent[h]),
+            bytes_received=float(recv[h]),
+            send_utilization=float(sent[h] / cap),
+            recv_utilization=float(recv[h] / cap),
+        )
+        for h in range(cluster.n_hosts)
+    ]
+
+
+def format_matrix(m: np.ndarray, labels: Sequence[str] | None = None, unit: float = 1 << 20) -> str:
+    """Pretty-print a traffic matrix (default unit: MiB)."""
+    n = m.shape[0]
+    labels = list(labels) if labels is not None else [str(i) for i in range(n)]
+    w = max(8, max(len(s) for s in labels) + 1)
+    head = " " * w + "".join(f"{s:>{w}}" for s in labels)
+    lines = [head]
+    for i in range(n):
+        row = "".join(f"{m[i, j] / unit:>{w}.1f}" for j in range(n))
+        lines.append(f"{labels[i]:>{w}}" + row)
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mesh import DeviceMesh
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+@pytest.fixture
+def cluster4x4() -> Cluster:
+    """The paper's testbed shape: 4 hosts x 4 GPUs, 10 Gbps / NVLink."""
+    return Cluster(ClusterSpec(n_hosts=4, devices_per_host=4))
+
+
+@pytest.fixture
+def cluster_nolat() -> Cluster:
+    """4x4 cluster with zero link latencies (clean timing arithmetic)."""
+    return Cluster(
+        ClusterSpec(
+            n_hosts=4,
+            devices_per_host=4,
+            inter_host_latency=0.0,
+            intra_host_latency=0.0,
+        )
+    )
+
+
+@pytest.fixture
+def two_meshes(cluster4x4):
+    """Disjoint (2,4) source and destination meshes."""
+    src = DeviceMesh.from_hosts(cluster4x4, [0, 1])
+    dst = DeviceMesh.from_hosts(cluster4x4, [2, 3])
+    return src, dst
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,79 @@
+"""Tests for the extra collectives (all-to-all, reduce-scatter, all-reduce)."""
+
+import pytest
+
+from repro.sim.cluster import GB, Cluster, ClusterSpec
+from repro.sim.collectives import all_reduce, all_to_all, reduce_scatter
+from repro.sim.network import Network
+from repro.sim.primitives import ring_order
+
+
+def make_net(n_hosts=4, dph=2) -> Network:
+    return Network(
+        Cluster(
+            ClusterSpec(
+                n_hosts=n_hosts,
+                devices_per_host=dph,
+                inter_host_latency=0.0,
+                intra_host_latency=0.0,
+            )
+        )
+    )
+
+
+def test_all_to_all_intra_host():
+    net = make_net(n_hosts=1, dph=4)
+    h = all_to_all(net, [0, 1, 2, 3], GB / 4)
+    net.run()
+    # 3 rounds, each GB/4 per device over NVLink
+    expect = 3 * (GB / 4) / net.cluster.spec.intra_host_bandwidth
+    assert h.finish_time == pytest.approx(expect)
+    assert len(net.trace) == 12
+
+
+def test_all_to_all_cross_host():
+    net = make_net(n_hosts=4, dph=1)
+    h = all_to_all(net, [0, 1, 2, 3], GB / 4)
+    net.run()
+    expect = 3 * (GB / 4) / net.cluster.spec.inter_host_bandwidth
+    assert h.finish_time == pytest.approx(expect)
+
+
+def test_all_to_all_degenerate():
+    net = make_net()
+    assert all_to_all(net, [0], GB).done
+    assert all_to_all(net, [0, 1], 0).done
+
+
+def test_reduce_scatter_time():
+    net = make_net(n_hosts=4, dph=1)
+    h = reduce_scatter(net, [0, 1, 2, 3], GB)
+    net.run()
+    expect = 3 * (GB / 4) / net.cluster.spec.inter_host_bandwidth
+    assert h.finish_time == pytest.approx(expect)
+
+
+def test_all_reduce_is_two_phases():
+    net = make_net(n_hosts=4, dph=1)
+    h = all_reduce(net, [0, 1, 2, 3], GB)
+    net.run()
+    # 2 (N-1)/N * total / bw
+    expect = 2 * 3 * (GB / 4) / net.cluster.spec.inter_host_bandwidth
+    assert h.finish_time == pytest.approx(expect)
+    assert h.done
+
+
+def test_all_reduce_degenerate():
+    net = make_net()
+    assert all_reduce(net, [5], GB).done
+
+
+def test_all_reduce_host_grouped_ring_faster():
+    """Host-grouping the ring reduces cross-host rounds."""
+    net1 = make_net(n_hosts=2, dph=2)
+    bad = all_reduce(net1, [0, 2, 1, 3], GB)  # alternating hosts
+    net1.run()
+    net2 = make_net(n_hosts=2, dph=2)
+    good = all_reduce(net2, ring_order(net2.cluster, 0, [0, 1, 2, 3]), GB)
+    net2.run()
+    assert good.finish_time < bad.finish_time

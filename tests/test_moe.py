@@ -1,0 +1,82 @@
+"""Tests for the MoE workload extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.task import ReshardingTask
+from repro.models.moe import MoEConfig, build_moe, dispatch_all_to_all_time, moe_params
+from repro.models.parallel import run_iteration
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return build_moe(MoEConfig(global_batch=128))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="layer"):
+        MoEConfig(n_layers=10, pp=4)
+    with pytest.raises(ValueError, match="expert"):
+        MoEConfig(n_experts=6, ep=4)
+    with pytest.raises(ValueError, match="batch"):
+        MoEConfig(global_batch=100)
+
+
+def test_params_formula():
+    cfg = MoEConfig()
+    p = moe_params(cfg)
+    # 8 dense layers (12 H^2) + 8 MoE layers (4 H^2 + 8 experts x 8 H^2)
+    h2 = cfg.hidden**2
+    expect = 8 * 12 * h2 + 8 * (4 + 64) * h2 + cfg.vocab * cfg.hidden
+    assert p == pytest.approx(expect)
+
+
+def test_build_structure(small_spec):
+    assert len(small_spec.stage_meshes) == 2
+    assert small_spec.stage_meshes[0].shape == (2, 2)
+    assert small_spec.stage_meshes[1].shape == (4, 1)
+    b = small_spec.boundaries[0]
+    assert b.src_spec == "S01RR" and b.dst_spec == "RS0R"
+
+
+def test_boundary_is_orthogonal_retiling(small_spec):
+    """Batch->sequence resharding produces a case-4-like task grid."""
+    b = small_spec.boundaries[0]
+    rt = ReshardingTask(
+        b.shape,
+        small_spec.stage_meshes[0],
+        b.src_spec,
+        small_spec.stage_meshes[1],
+        b.dst_spec,
+        dtype=np.float16,
+    )
+    units = rt.unit_tasks()
+    assert len(units) == 16  # 4 src tiles x 4 dst tiles
+    for ut in units:
+        assert len(ut.senders) == 1 and len(ut.receivers) == 1
+
+
+def test_all_to_all_time_positive():
+    cfg = MoEConfig()
+    spec = build_moe(cfg)
+    t0 = dispatch_all_to_all_time(cfg, spec.stage_meshes[0])
+    t1 = dispatch_all_to_all_time(cfg, spec.stage_meshes[1])
+    assert t0 > 0 and t1 > 0
+
+
+def test_e2e_method_ordering(small_spec):
+    r = {
+        m: run_iteration(small_spec, m).throughput_tflops
+        for m in ("alpa", "broadcast", "overlap", "ours", "signal")
+    }
+    assert r["signal"] >= r["ours"] - 1e-9
+    assert r["ours"] > r["overlap"] > r["broadcast"]
+    assert r["ours"] / r["alpa"] > 1.2
+    assert r["ours"] >= 0.95 * r["signal"]
+
+
+def test_cluster_too_small():
+    tiny = Cluster(ClusterSpec(n_hosts=1, devices_per_host=4))
+    with pytest.raises(ValueError, match="cluster"):
+        build_moe(MoEConfig(), cluster=tiny)

@@ -1,0 +1,166 @@
+"""Tests for pipeline schedule generation (GPipe, 1F1B, eager-1F1B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.schedules import (
+    Task,
+    eager_warmup,
+    fifo_warmup,
+    gpipe_order,
+    one_f_one_b_order,
+    schedule_job,
+    split_backward,
+    stage_order,
+)
+
+
+# ----------------------------------------------------------------------
+# warm-up depths (paper §4)
+# ----------------------------------------------------------------------
+def test_fifo_warmup_formula():
+    # 0-indexed: p - s
+    assert [fifo_warmup(s, 4) for s in range(4)] == [4, 3, 2, 1]
+
+
+def test_eager_warmup_formula():
+    # 0-indexed: 2 (p - s - 1) + 1
+    assert [eager_warmup(s, 4) for s in range(4)] == [7, 5, 3, 1]
+
+
+def test_warmups_last_stage_is_one():
+    for p in range(1, 6):
+        assert fifo_warmup(p - 1, p) == 1
+        assert eager_warmup(p - 1, p) == 1
+
+
+def test_eager_deeper_than_fifo_except_last():
+    for p in range(2, 6):
+        for s in range(p - 1):
+            assert eager_warmup(s, p) > fifo_warmup(s, p)
+
+
+def test_warmup_bounds_checked():
+    with pytest.raises(ValueError):
+        fifo_warmup(4, 4)
+    with pytest.raises(ValueError):
+        eager_warmup(-1, 4)
+
+
+def test_eager_extra_memory_bound():
+    """Eager stores at most #stages more activations (paper's bound)."""
+    for p in range(2, 8):
+        for s in range(p):
+            assert eager_warmup(s, p) - fifo_warmup(s, p) <= p
+
+
+# ----------------------------------------------------------------------
+# orders
+# ----------------------------------------------------------------------
+def test_gpipe_order():
+    order = gpipe_order(3)
+    assert order == [Task("F", 0), Task("F", 1), Task("F", 2),
+                     Task("B", 0), Task("B", 1), Task("B", 2)]
+
+
+def test_one_f_one_b_steady_pattern():
+    order = one_f_one_b_order(6, warmup=2)
+    kinds = "".join(t.kind for t in order)
+    assert kinds == "FFBFBFBFBFBB"
+    # backwards in micro-batch order
+    assert [t.microbatch for t in order if t.kind == "B"] == list(range(6))
+
+
+def test_one_f_one_b_warmup_larger_than_microbatches():
+    order = one_f_one_b_order(2, warmup=5)
+    kinds = "".join(t.kind for t in order)
+    assert kinds == "FFBB"
+
+
+def test_one_f_one_b_invalid_warmup():
+    with pytest.raises(ValueError):
+        one_f_one_b_order(4, warmup=0)
+
+
+@pytest.mark.parametrize("sched", ["gpipe", "1f1b", "eager_1f1b"])
+@pytest.mark.parametrize("p,m", [(1, 4), (2, 8), (4, 4), (4, 16)])
+def test_orders_complete_and_causal(sched, p, m):
+    for s in range(p):
+        order = stage_order(sched, s, p, m)
+        fwd = [t.microbatch for t in order if t.kind == "F"]
+        bwd = [t.microbatch for t in order if t.kind == "B"]
+        assert sorted(fwd) == list(range(m))
+        assert sorted(bwd) == list(range(m))
+        # F before its own B
+        for mb in range(m):
+            assert order.index(Task("F", mb)) < order.index(Task("B", mb))
+
+
+def test_unknown_schedule():
+    with pytest.raises(ValueError, match="unknown schedule"):
+        stage_order("2f2b", 0, 2, 4)
+
+
+# ----------------------------------------------------------------------
+# backward split / weight delaying
+# ----------------------------------------------------------------------
+def test_split_backward_basic():
+    order = [Task("F", 0), Task("F", 1), Task("B", 0), Task("F", 2), Task("B", 1)]
+    out = split_backward(order, delay_slots=1)
+    assert out == [
+        Task("F", 0), Task("F", 1), Task("Bx", 0), Task("F", 2), Task("Bw", 0),
+        Task("Bx", 1), Task("Bw", 1),
+    ]
+
+
+def test_split_backward_zero_delay():
+    order = [Task("F", 0), Task("B", 0)]
+    assert split_backward(order, delay_slots=0) == [
+        Task("F", 0), Task("Bx", 0), Task("Bw", 0)
+    ]
+
+
+def test_split_backward_adjacent_backwards():
+    order = [Task("F", 0), Task("F", 1), Task("B", 0), Task("B", 1)]
+    out = split_backward(order, delay_slots=1)
+    assert out == [Task("F", 0), Task("F", 1), Task("Bx", 0), Task("Bx", 1),
+                   Task("Bw", 0), Task("Bw", 1)]
+
+
+def test_split_backward_flushes_at_end():
+    out = split_backward([Task("F", 0), Task("B", 0)], delay_slots=5)
+    assert out == [Task("F", 0), Task("Bx", 0), Task("Bw", 0)]
+
+
+def test_split_backward_negative_rejected():
+    with pytest.raises(ValueError):
+        split_backward([], delay_slots=-1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(1, 12), warmup=st.integers(1, 6), delay=st.integers(0, 3))
+def test_property_split_preserves_multiset(m, warmup, delay):
+    order = one_f_one_b_order(m, warmup)
+    out = split_backward(order, delay_slots=delay)
+    assert [t for t in out if t.kind == "F"] == [t for t in order if t.kind == "F"]
+    assert sorted(t.microbatch for t in out if t.kind == "Bx") == list(range(m))
+    assert sorted(t.microbatch for t in out if t.kind == "Bw") == list(range(m))
+    # Bx before its Bw; Bw within delay slots of its Bx
+    for mb in range(m):
+        assert out.index(Task("Bx", mb)) < out.index(Task("Bw", mb))
+
+
+# ----------------------------------------------------------------------
+# schedule_job
+# ----------------------------------------------------------------------
+def test_schedule_job_shapes():
+    orders = schedule_job("1f1b", n_stages=3, n_microbatches=5)
+    assert len(orders) == 3
+    assert all(len(o) == 10 for o in orders)
+
+
+def test_schedule_job_with_delay():
+    orders = schedule_job("eager_1f1b", 2, 4, delay_bw_weight=True)
+    kinds = {t.kind for o in orders for t in o}
+    assert kinds == {"F", "Bx", "Bw"}

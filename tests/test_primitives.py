@@ -1,0 +1,221 @@
+"""Unit tests for the timed collective primitives (paper §3.1 strategies)."""
+
+import pytest
+
+from repro.sim.analysis import (
+    latency_broadcast,
+    latency_local_allgather,
+    latency_send_recv,
+)
+from repro.sim.cluster import GB, Cluster, ClusterSpec
+from repro.sim.network import Network
+from repro.sim.primitives import (
+    p2p,
+    ring_allgather,
+    ring_broadcast,
+    ring_order,
+    scatter,
+    split_chunks,
+)
+
+
+def make_net(n_hosts=5, dph=4) -> Network:
+    return Network(
+        Cluster(
+            ClusterSpec(
+                n_hosts=n_hosts,
+                devices_per_host=dph,
+                inter_host_latency=0.0,
+                intra_host_latency=0.0,
+            )
+        )
+    )
+
+
+def t_of(net, nbytes=GB):
+    return nbytes / net.cluster.spec.inter_host_bandwidth
+
+
+# ----------------------------------------------------------------------
+# ring_order
+# ----------------------------------------------------------------------
+def test_ring_order_groups_by_host():
+    net = make_net()
+    c = net.cluster
+    order = ring_order(c, 0, [17, 5, 4, 1, 16])
+    # root host (0) first, then host 1, then host 4
+    assert order == [1, 4, 5, 16, 17]
+
+
+def test_ring_order_visits_each_host_once():
+    net = make_net()
+    c = net.cluster
+    order = ring_order(c, 8, [0, 1, 12, 13, 4, 5])
+    hosts = [c.host_of(d) for d in order]
+    # consecutive duplicates collapse to one visit per host
+    visits = [h for i, h in enumerate(hosts) if i == 0 or hosts[i - 1] != h]
+    assert len(visits) == len(set(visits))
+
+
+def test_split_chunks_sums_to_total():
+    chunks = split_chunks(1000.0, 7)
+    assert len(chunks) == 7
+    assert sum(chunks) == pytest.approx(1000.0)
+
+
+def test_split_chunks_invalid():
+    with pytest.raises(ValueError):
+        split_chunks(100.0, 0)
+
+
+# ----------------------------------------------------------------------
+# p2p / scatter
+# ----------------------------------------------------------------------
+def test_p2p_latency():
+    net = make_net()
+    h = p2p(net, 0, 4, GB)
+    net.run()
+    assert h.done
+    assert h.finish_time == pytest.approx(t_of(net))
+
+
+def test_scatter_splits_evenly():
+    net = make_net()
+    h = scatter(net, 0, [4, 5, 8, 9], GB)
+    net.run()
+    # total GB out of one NIC
+    assert h.finish_time == pytest.approx(t_of(net))
+    assert net.bytes_cross_host == pytest.approx(GB)
+
+
+def test_scatter_excludes_root():
+    net = make_net()
+    h = scatter(net, 0, [0, 4], GB)
+    net.run()
+    # only the non-root receiver gets a part (half the payload)
+    assert net.bytes_cross_host == pytest.approx(GB / 2)
+    assert h.done
+
+
+def test_scatter_empty_receivers_is_noop():
+    net = make_net()
+    h = scatter(net, 0, [0], GB)
+    assert h.done
+    assert h.finish_time == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# ring all-gather
+# ----------------------------------------------------------------------
+def test_local_allgather_time():
+    net = make_net()
+    shard = GB / 4
+    h = ring_allgather(net, [0, 1, 2, 3], shard)
+    net.run()
+    expect = 3 * shard / net.cluster.spec.intra_host_bandwidth
+    assert h.finish_time == pytest.approx(expect)
+
+
+def test_global_allgather_crosses_hosts():
+    net = make_net()
+    devs = ring_order(net.cluster, 0, [0, 1, 4, 5])
+    shard = GB / 4
+    h = ring_allgather(net, devs, shard)
+    net.run()
+    # 3 rounds, each bounded by one cross-host shard transfer
+    assert h.finish_time == pytest.approx(3 * shard / net.cluster.spec.inter_host_bandwidth)
+
+
+def test_allgather_single_device_noop():
+    net = make_net()
+    h = ring_allgather(net, [3], GB)
+    assert h.done and h.finish_time == pytest.approx(0.0)
+
+
+def test_allgather_flow_count():
+    net = make_net()
+    h = ring_allgather(net, [0, 1, 2], 100.0)
+    net.run()
+    # N * (N-1) flows
+    assert len(net.trace) == 6
+    assert h.n_done == 6
+
+
+# ----------------------------------------------------------------------
+# ring broadcast
+# ----------------------------------------------------------------------
+def test_broadcast_single_receiver_equals_p2p():
+    net = make_net()
+    h = ring_broadcast(net, 0, [4], GB, n_chunks=16)
+    net.run()
+    assert h.finish_time == pytest.approx(t_of(net), rel=1e-6)
+
+
+def test_broadcast_pipelining_beats_sequential():
+    """t + A t/K for A receiving hosts, not A t."""
+    net = make_net()
+    recv = [4, 8, 12, 16]  # 4 hosts, 1 device each
+    k = 32
+    h = ring_broadcast(net, 0, recv, GB, n_chunks=k)
+    net.run()
+    t = t_of(net)
+    analytic = latency_broadcast(4, 1, t, k)
+    assert h.finish_time == pytest.approx(analytic, rel=0.05)
+    assert h.finish_time < latency_local_allgather(4, 1, t)
+
+
+def test_broadcast_cross_traffic_is_one_copy_per_host():
+    net = make_net()
+    recv = [4, 5, 8, 9]  # two receiving hosts, 2 devices each
+    h = ring_broadcast(net, 0, recv, GB, n_chunks=8)
+    net.run()
+    assert h.done
+    # each receiving host pulls exactly one copy across the network
+    assert net.bytes_cross_host == pytest.approx(2 * GB)
+
+
+def test_broadcast_empty_receivers_noop():
+    net = make_net()
+    h = ring_broadcast(net, 0, [], GB)
+    assert h.done and h.finish_time == pytest.approx(0.0)
+
+
+def test_broadcast_dedups_root_in_receivers():
+    net = make_net()
+    h = ring_broadcast(net, 0, [0, 4], GB, n_chunks=4)
+    net.run()
+    assert net.bytes_cross_host == pytest.approx(GB)
+
+
+def test_broadcast_more_chunks_lower_latency():
+    lat = {}
+    for k in (1, 4, 64):
+        net = make_net()
+        h = ring_broadcast(net, 0, [4, 8, 12], GB, n_chunks=k)
+        net.run()
+        lat[k] = h.finish_time
+    assert lat[64] < lat[4] < lat[1]
+
+
+def test_send_recv_analysis_match():
+    """A x B independent p2p sends cost A*B*t out of one NIC."""
+    net = make_net()
+    recv = [4, 5, 8, 9, 12, 13]
+    handles = [p2p(net, 0, d, GB) for d in recv]
+    net.run()
+    t = t_of(net)
+    assert max(h.finish_time for h in handles) == pytest.approx(
+        latency_send_recv(3, 2, t)
+    )
+
+
+def test_collective_handle_callback_fires_once():
+    net = make_net()
+    calls = []
+    h = p2p(net, 0, 4, 100.0)
+    h.add_done_callback(lambda x: calls.append(x))
+    net.run()
+    assert calls == [h]
+    # late registration fires immediately
+    h.add_done_callback(lambda x: calls.append("late"))
+    assert calls == [h, "late"]

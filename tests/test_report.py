@@ -1,0 +1,25 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.experiments.report import EXPECTATIONS, run_all, write_report
+
+
+@pytest.mark.slow
+def test_write_report_contains_all_sections(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    text = write_report(str(path), verbose=False)
+    assert path.read_text() == text
+    for eid in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "A0", "S1", "S2", "S3"):
+        assert f"### {eid}" in text, eid
+    for claim in EXPECTATIONS.values():
+        assert claim.split(".")[0] in text
+    assert "Known divergences" in text
+
+
+@pytest.mark.slow
+def test_run_all_returns_tables():
+    tables = run_all(verbose=False)
+    assert len(tables) == 11
+    for t in tables:
+        assert t.rows, t.experiment_id

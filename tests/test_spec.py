@@ -1,0 +1,152 @@
+"""Unit and property tests for ShardingSpec (the paper's §2.2 notation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mesh import DeviceMesh
+from repro.core.spec import REPLICATED, ShardingSpec, parse_spec
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+@pytest.fixture
+def mesh24():
+    c = Cluster(ClusterSpec(n_hosts=2, devices_per_host=4))
+    return DeviceMesh.from_hosts(c, [0, 1])
+
+
+# ----------------------------------------------------------------------
+# Parsing / formatting
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text,dims",
+    [
+        ("R", ((),)),
+        ("S0R", ((0,), ())),
+        ("RS1", ((), (1,))),
+        ("S01RR", ((0, 1), (), ())),
+        ("RS0R", ((), (0,), ())),
+        ("RRS0", ((), (), (0,))),
+        ("S1S0", ((1,), (0,))),
+        ("S10R", ((1, 0), ())),
+    ],
+)
+def test_parse(text, dims):
+    assert ShardingSpec.parse(text).dims == dims
+
+
+@pytest.mark.parametrize("text", ["R", "S0R", "S01RR", "RS0R", "S1S0", "S10R"])
+def test_roundtrip(text):
+    assert str(ShardingSpec.parse(text)) == text
+
+
+@pytest.mark.parametrize("text", ["", "X", "S", "SR0", "rr", "S2R", "0R"])
+def test_parse_rejects_garbage(text):
+    with pytest.raises(ValueError):
+        ShardingSpec.parse(text)
+
+
+def test_parse_spec_passthrough():
+    s = ShardingSpec.parse("S0R")
+    assert parse_spec(s) is s
+    assert parse_spec("S0R") == s
+
+
+def test_mesh_axis_used_twice_rejected():
+    with pytest.raises(ValueError):
+        ShardingSpec.parse("S0S0")
+    with pytest.raises(ValueError):
+        ShardingSpec.parse("S01S1")
+    with pytest.raises(ValueError):
+        ShardingSpec([(0, 0)])
+
+
+def test_immutable():
+    s = ShardingSpec.parse("S0R")
+    with pytest.raises(AttributeError):
+        s.dims = ()
+
+
+# ----------------------------------------------------------------------
+# Semantics over a mesh
+# ----------------------------------------------------------------------
+def test_shards_per_dim(mesh24):
+    assert ShardingSpec.parse("S0RR").shards_per_dim(mesh24) == (2, 1, 1)
+    assert ShardingSpec.parse("RS1R").shards_per_dim(mesh24) == (1, 4, 1)
+    assert ShardingSpec.parse("S01RR").shards_per_dim(mesh24) == (8, 1, 1)
+    assert ShardingSpec.parse("S10RR").shards_per_dim(mesh24) == (8, 1, 1)
+
+
+def test_replication_factor(mesh24):
+    assert ShardingSpec.parse("S0RR").replication_factor(mesh24) == 4
+    assert ShardingSpec.parse("S0S1R").replication_factor(mesh24) == 1
+    assert ShardingSpec.parse("RRR").replication_factor(mesh24) == 8
+
+
+def test_replica_axes():
+    assert ShardingSpec.parse("RRR").replica_mesh_axes() == (0, 1)
+    assert ShardingSpec.parse("S0RR").replica_mesh_axes() == (1,)
+    assert ShardingSpec.parse("S01RR").replica_mesh_axes() == ()
+
+
+def test_validate_rank_mismatch(mesh24):
+    with pytest.raises(ValueError, match="dims"):
+        ShardingSpec.parse("S0R").validate((4, 4, 4), mesh24)
+
+
+def test_validate_too_small_dim(mesh24):
+    with pytest.raises(ValueError, match="split"):
+        ShardingSpec.parse("S01RR").validate((4, 8, 8), mesh24)  # 4 < 8 shards
+
+
+def test_is_even(mesh24):
+    assert ShardingSpec.parse("S0RR").is_even((8, 3, 3), mesh24)
+    assert not ShardingSpec.parse("S0RR").is_even((9, 3, 3), mesh24)
+    assert ShardingSpec.parse("S01RR").is_even((16, 1, 1), mesh24)
+
+
+def test_equality_hash():
+    a = ShardingSpec.parse("S0R")
+    b = ShardingSpec(((0,), REPLICATED))
+    assert a == b and hash(a) == hash(b)
+    assert a != ShardingSpec.parse("RS0")
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+def spec_strings(ndim: int):
+    """Strategy generating valid spec strings for an ndim tensor."""
+
+    def build(assignment):
+        # assignment: for each of mesh axes 0,1: which dim (or None)
+        dims = [[] for _ in range(ndim)]
+        for axis, dim in enumerate(assignment):
+            if dim is not None:
+                dims[dim].append(axis)
+        return "".join(
+            "R" if not axes else "S" + "".join(map(str, sorted(axes)))
+            for axes in dims
+        )
+
+    return st.tuples(
+        st.one_of(st.none(), st.integers(0, ndim - 1)),
+        st.one_of(st.none(), st.integers(0, ndim - 1)),
+    ).map(build)
+
+
+@given(st.integers(1, 4).flatmap(lambda n: spec_strings(n)))
+def test_property_roundtrip(text):
+    spec = ShardingSpec.parse(text)
+    assert ShardingSpec.parse(str(spec)) == spec
+
+
+@given(st.integers(1, 3).flatmap(lambda n: spec_strings(n)))
+def test_property_shard_count_times_replicas_is_mesh_size(text):
+    c = Cluster(ClusterSpec(n_hosts=2, devices_per_host=4))
+    mesh = DeviceMesh.from_hosts(c, [0, 1])
+    spec = ShardingSpec.parse(text)
+    total_tiles = 1
+    for n in spec.shards_per_dim(mesh):
+        total_tiles *= n
+    assert total_tiles * spec.replication_factor(mesh) == mesh.n_devices

@@ -1,0 +1,126 @@
+"""Tests for the terminal visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import reshard
+from repro.core.mesh import DeviceMesh
+from repro.pipeline.executor import simulate_pipeline
+from repro.pipeline.schedules import schedule_job
+from repro.pipeline.stage import CommEdge, PipelineJob, StageProfile
+from repro.sim.cluster import Cluster, ClusterSpec
+from repro.viz import (
+    GanttRow,
+    device_traffic_matrix,
+    flow_gantt,
+    format_matrix,
+    host_traffic_matrix,
+    link_stats,
+    pipeline_gantt,
+    render_rows,
+)
+
+
+@pytest.fixture
+def pipe_result():
+    stages = [StageProfile(s, 1.0, 1.0, 1.0) for s in range(2)]
+    edges = [CommEdge(0, 1, 0.4, 0.4, label="act")]
+    job = PipelineJob(stages, edges, n_microbatches=4)
+    return simulate_pipeline(job, schedule_job("1f1b", 2, 4), overlap=True)
+
+
+@pytest.fixture
+def reshard_result():
+    c = Cluster(ClusterSpec(n_hosts=4, devices_per_host=4))
+    src = DeviceMesh.from_hosts(c, [0, 1])
+    dst = DeviceMesh.from_hosts(c, [2, 3])
+    return reshard((64, 64, 16), src, "RS0R", dst, "S0RR", strategy="broadcast")
+
+
+def test_render_rows_basic():
+    rows = [GanttRow("a", ((0.0, 1.0, "F"), (1.0, 2.0, "B")))]
+    out = render_rows(rows, width=20, t_max=2.0)
+    line = out.splitlines()[0]
+    assert line.startswith("a |")
+    assert "F" in line and "B" in line
+    # F occupies the first half
+    body = line.split("|")[1]
+    assert body[:10].count("F") == 10
+
+
+def test_render_rows_empty():
+    out = render_rows([], width=20)
+    assert "0" in out  # axis only
+
+
+def test_render_rows_width_guard():
+    with pytest.raises(ValueError):
+        render_rows([], width=5)
+
+
+def test_pipeline_gantt_structure(pipe_result):
+    out = pipeline_gantt(pipe_result, width=60)
+    lines = out.splitlines()
+    assert lines[0].strip().startswith("stage0")
+    assert lines[1].strip().startswith("stage1")
+    assert any("comm0>1" in ln for ln in lines)
+    assert any("comm0<1" in ln for ln in lines)
+    # stage rows contain both forward and backward glyphs
+    assert "F" in lines[0] and "B" in lines[0]
+
+
+def test_pipeline_gantt_microbatch_filter(pipe_result):
+    full = pipeline_gantt(pipe_result, width=60)
+    partial = pipeline_gantt(pipe_result, width=60, max_microbatches=1)
+    assert partial.count("F") < full.count("F")
+
+
+def test_flow_gantt_host_level(reshard_result):
+    net = reshard_result.timing.network
+    out = flow_gantt(net.trace, net.cluster, width=50, by="host")
+    assert "->" in out
+    assert "#" in out
+
+
+def test_flow_gantt_device_level(reshard_result):
+    net = reshard_result.timing.network
+    out = flow_gantt(net.trace, net.cluster, width=50, by="device")
+    assert "d" in out
+    with pytest.raises(ValueError):
+        flow_gantt(net.trace, net.cluster, by="rack")
+
+
+def test_host_traffic_matrix(reshard_result):
+    net = reshard_result.timing.network
+    m = host_traffic_matrix(net.trace, net.cluster)
+    assert m.shape == (4, 4)
+    assert np.all(np.diag(m) == 0)
+    assert m.sum() == pytest.approx(reshard_result.cross_host_bytes)
+    # broadcast: senders are hosts 0/1, receivers hosts 2/3
+    assert m[:2, 2:].sum() > 0
+
+
+def test_device_traffic_matrix(reshard_result):
+    net = reshard_result.timing.network
+    m = device_traffic_matrix(net.trace, net.cluster)
+    assert m.shape == (16, 16)
+    assert m.sum() >= reshard_result.cross_host_bytes
+
+
+def test_link_stats(reshard_result):
+    net = reshard_result.timing.network
+    stats = link_stats(net.trace, net.cluster, window=reshard_result.latency)
+    assert len(stats) == 4
+    total_sent = sum(s.bytes_sent for s in stats)
+    assert total_sent == pytest.approx(reshard_result.cross_host_bytes)
+    for s in stats:
+        assert 0.0 <= s.send_utilization <= 1.01
+    with pytest.raises(ValueError):
+        link_stats(net.trace, net.cluster, window=0)
+
+
+def test_format_matrix():
+    m = np.array([[0.0, 2 << 20], [1 << 20, 0.0]])
+    out = format_matrix(m, labels=["h0", "h1"])
+    assert "2.0" in out and "1.0" in out
+    assert "h0" in out
