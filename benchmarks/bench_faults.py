@@ -1,0 +1,83 @@
+"""Chaos benchmark — resharding latency vs. injected fault rate.
+
+Two questions: (1) how gracefully does the broadcast runtime degrade as
+flow-drop probability rises, and (2) what does the retry machinery cost
+when nothing fails?  The second has a hard answer: at fault rate 0 the
+simulated makespan must sit within 2% of the fault-free code path (it is
+in fact byte-identical — every fault hook is behind a ``faults is
+None``-style guard).
+"""
+
+from conftest import save_table
+
+from repro.core.executor import simulate_plan
+from repro.core.mesh import DeviceMesh
+from repro.core.task import ReshardingTask
+from repro.experiments.common import ExperimentTable
+from repro.sim import GB, Cluster, ClusterSpec
+from repro.sim.faults import FaultSchedule, RetryPolicy
+from repro.strategies import BroadcastStrategy
+
+DROP_RATES = [0.0, 0.01, 0.05, 0.1, 0.2]
+POLICY = RetryPolicy(max_attempts=12, backoff_base=2e-3)
+
+
+def make_task() -> ReshardingTask:
+    cluster = Cluster(ClusterSpec(n_hosts=4, devices_per_host=4))
+    src = DeviceMesh.from_hosts(cluster, [0, 1])
+    dst = DeviceMesh.from_hosts(cluster, [2, 3])
+    # ~1 GB fp32 tensor, same scale as the paper's microbenchmarks
+    shape = (int(GB // (4 * 1024 * 1024)), 1024, 1024)
+    return ReshardingTask(shape, src, "S0RR", dst, "RS1R", dtype="float32")
+
+
+def latency_at(drop_rate: float, seed: int = 0):
+    task = make_task()
+    faults = FaultSchedule(seed=seed, drop_rate=drop_rate)
+    plan = BroadcastStrategy(faults=faults).plan(task)
+    return simulate_plan(plan, faults=faults, retry_policy=POLICY)
+
+
+def run() -> ExperimentTable:
+    task = make_task()
+    baseline = simulate_plan(BroadcastStrategy().plan(task)).total_time
+    table = ExperimentTable(
+        experiment_id="chaos",
+        title="Broadcast resharding under flow drops (1 GB, 2x2 hosts)",
+        columns=["drop rate", "latency (s)", "slowdown", "retries", "status"],
+        notes=f"fault-free baseline {baseline:.4g} s; retry policy {POLICY}",
+    )
+    for rate in DROP_RATES:
+        res = latency_at(rate)
+        rep = res.fault_report
+        table.add(**{
+            "drop rate": rate,
+            "latency (s)": res.total_time,
+            "slowdown": res.total_time / baseline,
+            "retries": rep.n_retries,
+            "status": rep.status,
+        })
+    return table
+
+
+def test_regenerate_fault_sweep(benchmark, results_dir):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(results_dir, "chaos_fault_sweep", table)
+    slow = table.column("slowdown")
+    # graceful degradation: monotone-ish cost, no cliff at low rates
+    assert slow[0] == 1.0
+    assert all(s < 5.0 for s in slow)
+    assert all(st != "fatal" for st in table.column("status"))
+
+
+def test_zero_fault_overhead_under_2_percent(benchmark):
+    """Acceptance gate: retry machinery is free when nothing fails."""
+    task = make_task()
+    baseline = simulate_plan(BroadcastStrategy().plan(task)).total_time
+    res = benchmark.pedantic(latency_at, args=(0.0,), rounds=3, iterations=1)
+    assert res.fault_report.status == "clean"
+    assert abs(res.total_time - baseline) / baseline < 0.02
+
+
+def test_bench_chaos_plan_and_simulate_10pct(benchmark):
+    benchmark.pedantic(latency_at, args=(0.1,), rounds=3, iterations=1)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..sim.faults import FaultReport, FaultSchedule, RetryPolicy
 from ..sim.network import Network
 from ..sim.primitives import (
     CollectiveHandle,
@@ -29,7 +30,12 @@ __all__ = ["TimingResult", "simulate_plan"]
 
 @dataclass
 class TimingResult:
-    """Outcome of simulating one communication plan."""
+    """Outcome of simulating one communication plan.
+
+    Under fault injection ``fault_report`` summarizes what struck and
+    whether the plan recovered; ``failed_ops`` lists ops whose transfers
+    were abandoned (their data never fully arrived).
+    """
 
     total_time: float
     op_finish: dict[int, float]
@@ -37,10 +43,17 @@ class TimingResult:
     bytes_cross_host: float
     bytes_intra_host: float
     network: Network = field(repr=False)
+    fault_report: Optional[FaultReport] = None
+    failed_ops: tuple[int, ...] = ()
 
     @property
     def makespan(self) -> float:
         return self.total_time
+
+    @property
+    def completed(self) -> bool:
+        """True when every op delivered its payload."""
+        return not self.failed_ops
 
 
 def _launch_op(network: Network, op: CommOp) -> CollectiveHandle:
@@ -68,9 +81,24 @@ def simulate_plan(
     plan: CommPlan,
     network: Optional[Network] = None,
     respect_schedule: bool = True,
+    faults: Optional[FaultSchedule] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> TimingResult:
-    """Simulate ``plan``; returns latency and traffic statistics."""
-    net = network if network is not None else Network(plan.task.cluster)
+    """Simulate ``plan``; returns latency and traffic statistics.
+
+    Pass ``faults`` (and optionally ``retry_policy``) to run the plan on
+    a lossy network; transfers are retried per the policy and the result
+    carries a :class:`~repro.sim.faults.FaultReport`.  An op whose
+    collective is abandoned is recorded in ``failed_ops`` instead of
+    deadlocking the simulation.
+    """
+    if network is not None and faults is not None:
+        raise ValueError("pass faults via the Network, not alongside one")
+    net = (
+        network
+        if network is not None
+        else Network(plan.task.cluster, faults=faults, retry_policy=retry_policy)
+    )
     cluster = plan.task.cluster
     base_cross = net.bytes_cross_host
     base_intra = net.bytes_intra_host
@@ -79,6 +107,7 @@ def simulate_plan(
     task_finish: dict[int, float] = {}
     op_done: set[int] = set()
     launched: set[int] = set()
+    failed_ops: set[int] = set()
 
     # ---- schedule gating -------------------------------------------------
     # For each unit task, `task_preds[tid]` is the set of earlier-ordered
@@ -122,6 +151,8 @@ def simulate_plan(
     def on_op_done(op: CommOp, handle: CollectiveHandle) -> None:
         op_done.add(op.op_id)
         op_finish[op.op_id] = handle.finish_time
+        if handle.failed:
+            failed_ops.add(op.op_id)
         tid = op.unit_task_id
         if tid in tasks_pending_ops:
             tasks_pending_ops[tid] -= 1
@@ -164,10 +195,20 @@ def simulate_plan(
     net.run()
 
     missing = [op.op_id for op in plan.ops if op.op_id not in op_done]
-    if missing:
+    if missing and net.faults is None:
         raise RuntimeError(
             f"plan deadlocked: ops never completed: {missing[:10]}"
             + ("..." if len(missing) > 10 else "")
+        )
+    # Under faults a missing op means its collective died without even
+    # reporting (should not happen — abandonment aborts the handle), or
+    # it was gated behind a failed op; treat both as failed, not hung.
+    failed_ops.update(missing)
+    report = net.fault_report()
+    if report is not None and failed_ops:
+        report.status = "fatal"
+        report.detail = f"{len(failed_ops)} op(s) did not deliver: " + ", ".join(
+            str(i) for i in sorted(failed_ops)[:10]
         )
     total = max(op_finish.values(), default=0.0)
     return TimingResult(
@@ -177,6 +218,8 @@ def simulate_plan(
         bytes_cross_host=net.bytes_cross_host - base_cross,
         bytes_intra_host=net.bytes_intra_host - base_intra,
         network=net,
+        fault_report=report,
+        failed_ops=tuple(sorted(failed_ops)),
     )
 
 

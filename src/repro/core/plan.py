@@ -36,7 +36,30 @@ from ..scheduling.problem import Schedule
 from .slices import Region
 from .task import ReshardingTask
 
-__all__ = ["CommOp", "SendOp", "BroadcastOp", "ScatterOp", "AllGatherOp", "CommPlan"]
+__all__ = [
+    "CommOp",
+    "SendOp",
+    "BroadcastOp",
+    "ScatterOp",
+    "AllGatherOp",
+    "FallbackRecord",
+    "CommPlan",
+]
+
+
+@dataclass(frozen=True)
+class FallbackRecord:
+    """A failure-aware deviation a strategy took while compiling the plan.
+
+    E.g. the scheduler assigned unit task ``unit_task_id`` to sender
+    host ``from_host``, but that host's NIC was down at plan time, so
+    the broadcast was re-rooted onto surviving replica host ``to_host``.
+    """
+
+    unit_task_id: int
+    from_host: int
+    to_host: int
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -93,6 +116,8 @@ class CommPlan:
     data_complete: bool = True
     #: unit-task decomposition the op unit_task_ids refer to
     granularity: str = "intersection"
+    #: failure-aware deviations taken at plan time (e.g. re-rooted senders)
+    fallbacks: list[FallbackRecord] = field(default_factory=list)
 
     def add(self, op: CommOp) -> CommOp:
         if op.op_id != len(self.ops):

@@ -29,14 +29,26 @@ Communication is simulated in one of two modes:
 Activation memory is tracked per stage (+1 at each ``F``, −1 when the
 micro-batch's backward — ``B`` or delayed ``Bw`` — completes) so the
 schedules' peak-memory trade-off (§4, Table 1) is measurable.
+
+**Fault tolerance** (optional, ``overlap=True``): given a
+:class:`~repro.sim.faults.FaultSchedule`, cross-stage messages can be
+*lost* — by the per-attempt drop rate, or because a stage's host
+(``stage_hosts``) NIC flapped during the transfer.  A watchdog detects
+the missing input after a backoff deadline and triggers a re-send on
+the same channel; compute stragglers stretch task durations during
+their windows.  Instead of hanging (or raising the deadlock error), a
+faulted run surfaces a structured :class:`~repro.sim.faults.FaultReport`
+on the result — ``recovered`` when every loss was re-sent in time,
+``fatal`` when the retry budget ran out and stages stayed stuck.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Optional, Sequence, Union
 
 from ..sim.events import EventLoop
+from ..sim.faults import FaultIncident, FaultReport, FaultSchedule, RetryPolicy
 from .schedules import Task
 from .stage import PipelineJob
 
@@ -84,7 +96,12 @@ _Item = Union[Task, _Recv]
 
 @dataclass
 class PipelineResult:
-    """Outcome of simulating one training iteration."""
+    """Outcome of simulating one training iteration.
+
+    ``fault_report`` is ``None`` for fault-free runs; under fault
+    injection it records whether the iteration recovered from every
+    injected fault or ended fatally (some stages never finished).
+    """
 
     iteration_time: float
     timeline: list[TimelineEntry]
@@ -92,6 +109,7 @@ class PipelineResult:
     peak_activation_counts: dict[int, int]
     stage_busy_time: dict[int, float]
     job: PipelineJob = field(repr=False)
+    fault_report: Optional[FaultReport] = None
 
     def peak_memory_bytes(self, stage: int) -> float:
         """Weights/optimizer plus peak live activations of a stage."""
@@ -167,11 +185,37 @@ def simulate_pipeline(
     job: PipelineJob,
     orders: list[list[Task]],
     overlap: bool = True,
+    faults: Optional[FaultSchedule] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    stage_hosts: Optional[Sequence[int]] = None,
 ) -> PipelineResult:
-    """Simulate one training iteration; see module docstring."""
+    """Simulate one training iteration; see module docstring.
+
+    ``stage_hosts`` maps each stage to the host carrying it, so NIC
+    flap windows in ``faults`` translate to lost cross-stage messages
+    (a transfer overlapping a flap of either endpoint's host is lost).
+    """
     _validate_orders(job, orders)
+    if stage_hosts is not None and len(stage_hosts) != job.n_stages:
+        raise ValueError(
+            f"stage_hosts must map all {job.n_stages} stages, got {len(stage_hosts)}"
+        )
+    if faults is not None and not overlap and (faults.drop_rate > 0 or faults.flaps):
+        raise ValueError(
+            "message loss injection needs overlap=True (blocking sends have "
+            "no channel to re-send on); stragglers work in both modes"
+        )
+    policy = retry_policy or RetryPolicy()
     loop = EventLoop()
     n_stages = job.n_stages
+
+    # -- fault bookkeeping --------------------------------------------
+    incidents: list[FaultIncident] = []
+    n_msg_retries = 0
+    n_msg_abandoned = 0
+    added_latency = 0.0
+    # first expected arrival per message, to price recovery delay
+    first_eta: dict[tuple[int, int, str], float] = {}
 
     items: list[list[_Item]] = (
         [list(o) for o in orders] if overlap else _insert_recvs(job, orders)
@@ -205,19 +249,99 @@ def simulate_pipeline(
         return True  # Bw: local only
 
     def duration(stage: int, t: Task) -> float:
+        nonlocal added_latency
         prof = job.stages[stage]
         if t.kind == "F":
-            return prof.fwd_time
-        if t.kind == "B":
-            return prof.bwd_x_time + prof.bwd_w_time
-        if t.kind == "Bx":
-            return prof.bwd_x_time
-        return prof.bwd_w_time
+            base = prof.fwd_time
+        elif t.kind == "B":
+            base = prof.bwd_x_time + prof.bwd_w_time
+        elif t.kind == "Bx":
+            base = prof.bwd_x_time
+        else:
+            base = prof.bwd_w_time
+        if faults is not None:
+            factor = faults.straggler_factor(stage, loop.now)
+            if factor > 1.0:
+                incidents.append(
+                    FaultIncident(
+                        kind="straggler",
+                        where=f"stage {stage} {t.kind}{t.microbatch}",
+                        time=loop.now,
+                        resolved=True,
+                    )
+                )
+                added_latency += base * (factor - 1.0)
+                return base * factor
+        return base
 
     def arrival(kind: str, stage: int, mb: int) -> None:
         key = (kind, stage, mb)
         arrived[key] = arrived.get(key, 0) + 1
         try_start(stage)
+
+    def message_lost(
+        edge_i: int, mb: int, direction: str, attempt: int, cstart: float, cend: float
+    ) -> bool:
+        if faults is None:
+            return False
+        if faults.should_drop("pipe", edge_i, mb, direction, attempt):
+            return True
+        if stage_hosts is not None:
+            e = job.edges[edge_i]
+            for st in (e.src_stage, e.dst_stage):
+                if faults.host_down_during(stage_hosts[st], cstart, cend):
+                    return True
+        return False
+
+    def send_message(
+        e, edge_i: int, dur: float, direction: str, target: int, mb: int,
+        earliest: float, attempt: int,
+    ) -> None:
+        """One delivery attempt of a cross-stage message (overlap mode).
+
+        A lost message is detected by the consumer's watchdog — the
+        input is missing past its deadline — which triggers a re-send
+        after the policy's backoff; the retry re-occupies the channel.
+        """
+        nonlocal n_msg_retries, n_msg_abandoned, added_latency
+        key = (e.src_stage, e.dst_stage, direction)
+        cstart = max(earliest, channel_free.get(key, 0.0))
+        cend = cstart + dur
+        channel_free[key] = cend
+        label = e.label if attempt == 1 else f"{e.label}~retry{attempt - 1}"
+        comms.append(
+            CommEntry(e.src_stage, e.dst_stage, direction, mb, label, cstart, cend)
+        )
+        mkey = (edge_i, mb, direction)
+        if attempt == 1:
+            first_eta[mkey] = cend
+        if not message_lost(edge_i, mb, direction, attempt, cstart, cend):
+            if attempt > 1:
+                added_latency += cend - first_eta[mkey]
+            dep_kind = "F" if direction == "fwd" else "B"
+            loop.call_at(cend, lambda: arrival(dep_kind, target, mb))
+            return
+        final = policy.exhausted(attempt)
+        incidents.append(
+            FaultIncident(
+                kind="message-lost",
+                where=f"edge {edge_i} {direction} mb{mb}",
+                time=cend,
+                attempt=attempt,
+                resolved=not final,
+            )
+        )
+        if final:
+            n_msg_abandoned += 1
+            return  # consumer stays stuck; surfaced as a fatal report
+        n_msg_retries += 1
+        grace = policy.backoff(attempt, "pipe", edge_i, mb, direction)
+        loop.call_at(
+            cend + grace,
+            lambda: send_message(
+                e, edge_i, dur, direction, target, mb, cend + grace, attempt + 1
+            ),
+        )
 
     def produced_edges(stage: int, t: Task):
         if t.kind == "F":
@@ -240,22 +364,8 @@ def simulate_pipeline(
         running[stage] = False
         idx[stage] += 1
         if overlap:
-            for e, _i, dur, direction, target in produced_edges(stage, t):
-                key = (e.src_stage, e.dst_stage, direction)
-                cstart = max(finish, channel_free.get(key, 0.0))
-                cend = cstart + dur
-                channel_free[key] = cend
-                comms.append(
-                    CommEntry(
-                        e.src_stage, e.dst_stage, direction, t.microbatch,
-                        e.label, cstart, cend,
-                    )
-                )
-                dep_kind = "F" if direction == "fwd" else "B"
-                loop.call_at(
-                    cend,
-                    lambda k=dep_kind, s=target, mb=t.microbatch: arrival(k, s, mb),
-                )
+            for e, i, dur, direction, target in produced_edges(stage, t):
+                send_message(e, i, dur, direction, target, t.microbatch, finish, 1)
             try_start(stage)
         else:
             # Blocking sends in program order: the stage stays busy for
@@ -319,11 +429,29 @@ def simulate_pipeline(
     loop.run()
 
     unfinished = [s for s in range(n_stages) if idx[s] < len(items[s])]
-    if unfinished:
+    if unfinished and faults is None:
         detail = {s: repr(items[s][idx[s]]) for s in unfinished}
         raise RuntimeError(
             f"pipeline deadlocked; stages stuck at tasks {detail} "
             f"(check warm-up depths and edge directions)"
+        )
+    report: Optional[FaultReport] = None
+    if faults is not None:
+        stuck = {s: repr(items[s][idx[s]]) for s in unfinished}
+        if unfinished or n_msg_abandoned:
+            status = "fatal"
+        elif incidents:
+            status = "recovered"
+        else:
+            status = "clean"
+        report = FaultReport(
+            status=status,
+            n_faults=len(incidents),
+            n_retries=n_msg_retries,
+            n_abandoned=n_msg_abandoned,
+            added_latency=added_latency,
+            detail=f"stages stuck at tasks {stuck}" if stuck else "",
+            incidents=incidents,
         )
     iteration_time = max(
         [e.end for e in timeline] + [c.end for c in comms], default=0.0
@@ -335,4 +463,5 @@ def simulate_pipeline(
         peak_activation_counts=peak_act,
         stage_busy_time=busy,
         job=job,
+        fault_report=report,
     )

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 if TYPE_CHECKING:  # avoid a hard import cycle with repro.core
     from ..core.task import ReshardingTask
+    from ..sim.faults import FaultSchedule
 
 __all__ = ["SchedTask", "SchedulingProblem", "Schedule", "evaluate", "validate_schedule"]
 
@@ -88,6 +89,7 @@ class SchedulingProblem:
         cross_bandwidth: Optional[float] = None,
         intra_bandwidth: Optional[float] = None,
         granularity: str = "intersection",
+        faults: "Optional[FaultSchedule]" = None,
     ) -> "SchedulingProblem":
         """Build the host-level problem from a resharding task.
 
@@ -95,17 +97,28 @@ class SchedulingProblem:
         one broadcast rooted there: one traversal of the slice across
         the host boundary if any receiver lives on another host,
         otherwise a fast intra-host copy.
+
+        With ``faults``, each host's NIC bandwidth is discounted by its
+        time-averaged degradation factor over the fault horizon, so the
+        load balancer steers work away from degraded (or flapping)
+        hosts.
         """
         spec = rt.cluster.spec
         intra = intra_bandwidth if intra_bandwidth else spec.intra_host_bandwidth
+
+        def nic_bw(host: int) -> float:
+            bw = spec.host_nic_bandwidth(host)
+            if faults is not None:
+                bw *= faults.mean_nic_factor(host)
+            return bw
 
         def cross_bw(sender_host: int, rhosts: frozenset[int]) -> float:
             if cross_bandwidth:
                 return cross_bandwidth
             # The broadcast ring's throughput is capped by its slowest
             # participating NIC (heterogeneous-networking support).
-            bws = [spec.host_nic_bandwidth(sender_host)]
-            bws += [spec.host_nic_bandwidth(h) for h in rhosts if h != sender_host]
+            bws = [nic_bw(sender_host)]
+            bws += [nic_bw(h) for h in rhosts if h != sender_host]
             return min(bws)
 
         tasks = []

@@ -8,6 +8,15 @@ substitution argument.
 from .cluster import GB, GBPS, Cluster, ClusterSpec, Device, Host
 from .collectives import all_reduce, all_to_all, reduce_scatter
 from .events import EventLoop
+from .faults import (
+    DegradedWindow,
+    FaultIncident,
+    FaultReport,
+    FaultSchedule,
+    FlapWindow,
+    RetryPolicy,
+    StragglerWindow,
+)
 from .network import Flow, FlowRecord, Network
 from .primitives import (
     DEFAULT_BROADCAST_CHUNKS,
@@ -30,6 +39,13 @@ __all__ = [
     "Flow",
     "FlowRecord",
     "Network",
+    "DegradedWindow",
+    "FlapWindow",
+    "StragglerWindow",
+    "FaultSchedule",
+    "RetryPolicy",
+    "FaultIncident",
+    "FaultReport",
     "CollectiveHandle",
     "DEFAULT_BROADCAST_CHUNKS",
     "p2p",

@@ -61,11 +61,25 @@ class ClusterSpec:
             raise ValueError("bandwidths must be positive")
         if self.inter_host_latency < 0 or self.intra_host_latency < 0:
             raise ValueError("latencies must be non-negative")
+        seen: set[int] = set()
         for host, bw in self.host_bandwidth_overrides:
+            if not isinstance(host, int) or isinstance(host, bool):
+                raise ValueError(
+                    f"override host id must be an int, got {host!r}"
+                )
             if not 0 <= host < self.n_hosts:
-                raise ValueError(f"override references unknown host {host}")
-            if bw <= 0:
-                raise ValueError(f"override bandwidth must be positive, got {bw}")
+                raise ValueError(
+                    f"override references unknown host {host} "
+                    f"(valid: 0..{self.n_hosts - 1})"
+                )
+            if host in seen:
+                raise ValueError(f"duplicate bandwidth override for host {host}")
+            seen.add(host)
+            if not bw > 0 or bw != bw or bw == float("inf"):
+                raise ValueError(
+                    f"override bandwidth for host {host} must be a positive "
+                    f"finite number of bytes/s, got {bw}"
+                )
 
     @property
     def n_devices(self) -> int:

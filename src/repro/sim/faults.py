@@ -1,0 +1,375 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper evaluates broadcast-based resharding on a healthy, fixed-
+bandwidth cluster; real fleets are not so kind.  This module models the
+failure classes a production deployment of the system would face —
+
+* **link degradation**: a host's NIC runs at a fraction of its nominal
+  bandwidth for a window (congestion, cable errors, thermal throttling);
+* **host NIC flaps**: a host's NIC is *down* for a window; flows through
+  it fail mid-flight and newly arriving flows fail fast;
+* **flow drops**: an individual transfer is lost (checksum failure,
+  switch buffer overrun) and detected at its expected delivery instant;
+* **compute stragglers**: a pipeline stage runs slower than profiled for
+  a window (preemption, ECC scrubbing, clock throttling).
+
+Everything is **deterministic and replayable**: a :class:`FaultSchedule`
+is pure data generated from a seed, and all per-flow decisions (drop or
+not, backoff jitter) are derived from seeded hashes of stable ids rather
+than global RNG state — two runs with the same schedule produce
+byte-identical event traces regardless of wall-clock, process hash
+randomization, or interleaving of unrelated work.
+
+The consumers are :class:`repro.sim.network.Network` (flow failures,
+retries, time-varying capacity), the strategies (failure-aware sender
+selection and re-rooting), and :func:`repro.pipeline.executor
+.simulate_pipeline` (stragglers plus a watchdog that re-sends lost
+cross-stage messages).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "DegradedWindow",
+    "FlapWindow",
+    "StragglerWindow",
+    "FaultSchedule",
+    "RetryPolicy",
+    "FaultIncident",
+    "FaultReport",
+]
+
+
+def _uniform(*key) -> float:
+    """Deterministic uniform in [0, 1) keyed by ``key``.
+
+    Uses :class:`random.Random` with a string seed (SHA-512 based), so
+    the draw is stable across processes and PYTHONHASHSEED values.
+    """
+    return random.Random(":".join(str(k) for k in key)).random()
+
+
+# ----------------------------------------------------------------------
+# Fault windows (pure data)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DegradedWindow:
+    """Host NIC runs at ``factor`` x nominal bandwidth during the window."""
+
+    host: int
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"window duration must be positive, got {self.duration}")
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError(f"degradation factor must be in (0, 1), got {self.factor}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class FlapWindow:
+    """Host NIC is down (zero capacity) during the window."""
+
+    host: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"window duration must be positive, got {self.duration}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """Pipeline stage computes ``slowdown`` x slower during the window."""
+
+    stage: int
+    start: float
+    duration: float
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"window duration must be positive, got {self.duration}")
+        if self.slowdown <= 1.0:
+            raise ValueError(f"slowdown must be > 1, got {self.slowdown}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+# ----------------------------------------------------------------------
+# Schedule
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A replayable fault scenario: windows plus a per-flow drop rate.
+
+    The schedule is pure data; :meth:`generate` builds a randomized one
+    from a seed, and the same seed always yields the identical schedule.
+    ``drop_rate`` applies per delivery attempt, decided by a seeded hash
+    of the flow's stable id — independent of submission interleaving.
+    """
+
+    seed: int = 0
+    degradations: tuple[DegradedWindow, ...] = ()
+    flaps: tuple[FlapWindow, ...] = ()
+    stragglers: tuple[StragglerWindow, ...] = ()
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+
+    # -- NIC capacity --------------------------------------------------
+    def host_down(self, host: int, t: float) -> bool:
+        """True while ``host``'s NIC is flapped down at time ``t``."""
+        return any(w.host == host and w.active(t) for w in self.flaps)
+
+    def host_down_during(self, host: int, start: float, end: float) -> bool:
+        """True if any flap of ``host`` overlaps the interval [start, end)."""
+        return any(
+            w.host == host and w.start < end and start < w.end for w in self.flaps
+        )
+
+    def nic_factor(self, host: int, t: float) -> float:
+        """Capacity multiplier of ``host``'s NIC at ``t`` (0 when down)."""
+        if self.host_down(host, t):
+            return 0.0
+        factor = 1.0
+        for w in self.degradations:
+            if w.host == host and w.active(t):
+                factor *= w.factor
+        return factor
+
+    def mean_nic_factor(self, host: int, horizon: Optional[float] = None) -> float:
+        """Time-averaged capacity factor of ``host`` over ``[0, horizon]``.
+
+        Used by the failure-aware scheduler load model: a host degraded
+        for half the horizon at factor 0.5 looks like a 0.75x host.
+        Floored at 1e-6 so fully-flapped hosts stay orderable.
+        """
+        if horizon is None:
+            horizon = self.horizon()
+        if horizon <= 0.0:
+            return 1.0
+        cuts = sorted(
+            {0.0, horizon}
+            | {min(max(b, 0.0), horizon) for b in self.boundaries()}
+        )
+        acc = 0.0
+        for lo, hi in zip(cuts, cuts[1:]):
+            if hi > lo:
+                acc += self.nic_factor(host, lo) * (hi - lo)
+        return max(acc / horizon, 1e-6)
+
+    def boundaries(self) -> tuple[float, ...]:
+        """Sorted instants at which any NIC's capacity changes."""
+        pts: set[float] = set()
+        for w in self.degradations:
+            pts.add(w.start)
+            pts.add(w.end)
+        for w in self.flaps:
+            pts.add(w.start)
+            pts.add(w.end)
+        return tuple(sorted(pts))
+
+    def horizon(self) -> float:
+        """End of the last fault window (0.0 for an all-clear schedule)."""
+        ends = [w.end for w in self.degradations + self.flaps + self.stragglers]
+        return max(ends, default=0.0)
+
+    # -- per-attempt decisions -----------------------------------------
+    def should_drop(self, *key) -> bool:
+        """Deterministically decide whether one delivery attempt is lost."""
+        if self.drop_rate <= 0.0:
+            return False
+        return _uniform(self.seed, "drop", *key) < self.drop_rate
+
+    # -- pipeline stragglers -------------------------------------------
+    def straggler_factor(self, stage: int, t: float) -> float:
+        """Compute-duration multiplier for ``stage`` at time ``t`` (>= 1)."""
+        factor = 1.0
+        for w in self.stragglers:
+            if w.stage == stage and w.active(t):
+                factor *= w.slowdown
+        return factor
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_hosts: int,
+        horizon: float,
+        n_degradations: int = 2,
+        n_flaps: int = 1,
+        drop_rate: float = 0.0,
+        n_stragglers: int = 0,
+        n_stages: int = 0,
+        min_factor: float = 0.2,
+        max_window_frac: float = 0.25,
+    ) -> "FaultSchedule":
+        """Build a randomized, replayable schedule for ``n_hosts`` hosts.
+
+        Window starts, durations, victims, and severities are drawn from
+        ``random.Random(seed)``; the same arguments always produce the
+        identical schedule.
+        """
+        if n_hosts < 1:
+            raise ValueError("n_hosts must be >= 1")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        rng = random.Random(seed)
+        max_dur = max_window_frac * horizon
+        degradations = tuple(
+            DegradedWindow(
+                host=rng.randrange(n_hosts),
+                start=rng.uniform(0.0, horizon),
+                duration=rng.uniform(0.05 * max_dur, max_dur),
+                factor=rng.uniform(min_factor, 0.9),
+            )
+            for _ in range(n_degradations)
+        )
+        flaps = tuple(
+            FlapWindow(
+                host=rng.randrange(n_hosts),
+                start=rng.uniform(0.0, horizon),
+                duration=rng.uniform(0.05 * max_dur, max_dur),
+            )
+            for _ in range(n_flaps)
+        )
+        stragglers = tuple(
+            StragglerWindow(
+                stage=rng.randrange(n_stages),
+                start=rng.uniform(0.0, horizon),
+                duration=rng.uniform(0.05 * max_dur, max_dur),
+                slowdown=rng.uniform(1.5, 4.0),
+            )
+            for _ in range(n_stragglers if n_stages > 0 else 0)
+        )
+        return cls(
+            seed=seed,
+            degradations=degradations,
+            flaps=flaps,
+            stragglers=stragglers,
+            drop_rate=drop_rate,
+        )
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runtime retries failed transfers.
+
+    Backoff for attempt ``a`` (1-based; the delay precedes attempt
+    ``a+1``) is ``backoff_base * backoff_factor**(a-1)`` stretched by a
+    deterministic jitter in ``[0, jitter)`` derived from the flow id —
+    retries of concurrent flows de-synchronize identically in every run.
+    ``flow_timeout`` bounds how long a single attempt may stay active
+    (degraded links can otherwise stretch a transfer arbitrarily);
+    ``None`` disables the timeout.
+    """
+
+    max_attempts: int = 6
+    backoff_base: float = 1e-3
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    flow_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base must be >= 0 and backoff_factor >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.flow_timeout is not None and self.flow_timeout <= 0:
+            raise ValueError("flow_timeout must be positive (or None)")
+
+    def backoff(self, attempt: int, *key) -> float:
+        """Delay before retrying after failed attempt ``attempt`` (1-based)."""
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        return base * (1.0 + self.jitter * _uniform("backoff", attempt, *key))
+
+    def exhausted(self, attempt: int) -> bool:
+        return attempt >= self.max_attempts
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultIncident:
+    """One observed fault: what failed, when, and how it ended."""
+
+    kind: str  # "dropped" | "nic-flap" | "timeout" | "straggler" | ...
+    where: str  # e.g. "flow 12 d0->d4", "edge 0 fwd mb3"
+    time: float
+    attempt: int = 1
+    resolved: bool = True
+
+
+@dataclass
+class FaultReport:
+    """Structured outcome of a run under fault injection.
+
+    ``status`` is ``"clean"`` (no fault struck), ``"recovered"`` (faults
+    struck, every one was retried to success), or ``"fatal"`` (at least
+    one transfer was abandoned / the run could not complete).
+    ``added_latency`` estimates the simulated time lost to failed
+    attempts and backoff waits.
+    """
+
+    status: str
+    n_faults: int = 0
+    n_retries: int = 0
+    n_abandoned: int = 0
+    added_latency: float = 0.0
+    detail: str = ""
+    incidents: list[FaultIncident] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.status not in ("clean", "recovered", "fatal"):
+            raise ValueError(f"unknown status {self.status!r}")
+
+    @property
+    def recovered(self) -> bool:
+        return self.status == "recovered"
+
+    @property
+    def fatal(self) -> bool:
+        return self.status == "fatal"
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultReport({self.status}, faults={self.n_faults}, "
+            f"retries={self.n_retries}, abandoned={self.n_abandoned}, "
+            f"added_latency={self.added_latency:.6f}s)"
+        )

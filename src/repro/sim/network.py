@@ -18,6 +18,19 @@ Rates are recomputed whenever a flow starts or finishes; the event loop
 advances directly to the earliest completion, so simulation cost is
 ``O(events x flows x ports)`` — comfortably fast for cluster sizes in the
 paper (dozens of devices, thousands of flows).
+
+**Fault tolerance** (optional): constructed with a
+:class:`~repro.sim.faults.FaultSchedule`, the network becomes lossy —
+NIC capacities vary over time (degradation windows), flows through a
+flapped-down NIC fail mid-flight (partial progress lost) or fail fast on
+arrival, and individual deliveries can be dropped.  Failed flows are
+retried under a :class:`~repro.sim.faults.RetryPolicy` (bounded
+attempts, exponential backoff with deterministic jitter, optional
+per-attempt timeout); exhausted flows are *abandoned* and reported via
+the ``on_abandon`` callback.  The trace distinguishes first-try
+(``ok``), retried-to-success (``retried``), per-attempt ``failed``, and
+``abandoned`` records.  Without a schedule every fault hook is skipped,
+so the healthy path is byte-identical to the fault-free simulator.
 """
 
 from __future__ import annotations
@@ -27,6 +40,7 @@ from typing import Callable, Optional
 
 from .cluster import Cluster
 from .events import Event, EventLoop
+from .faults import FaultIncident, FaultReport, FaultSchedule, RetryPolicy
 
 __all__ = ["Flow", "FlowRecord", "Network"]
 
@@ -47,6 +61,10 @@ class Flow:
     start_time: float = -1.0  # when it became active (post-latency)
     finish_time: float = -1.0
     rate: float = 0.0
+    attempts: int = 1
+    abandoned: bool = False
+    on_abandon: Optional[Callable[["Flow"], None]] = None
+    timeout_event: Optional[Event] = None
 
     @property
     def done(self) -> bool:
@@ -55,7 +73,13 @@ class Flow:
 
 @dataclass(frozen=True)
 class FlowRecord:
-    """Immutable trace entry for a completed flow."""
+    """Immutable trace entry for one disposition of a flow.
+
+    ``status`` is ``"ok"`` (delivered first try), ``"retried"``
+    (delivered after at least one failure), ``"failed"`` (one failed
+    attempt; the flow lives on), or ``"abandoned"`` (retry budget
+    exhausted, data never delivered).
+    """
 
     flow_id: int
     src: int
@@ -65,10 +89,27 @@ class FlowRecord:
     start_time: float
     finish_time: float
     tag: str = ""
+    attempts: int = 1
+    status: str = "ok"
 
     @property
     def duration(self) -> float:
+        """Active transfer time; queue-inclusive for never-active flows.
+
+        Flows that never became bandwidth-active (``start_time == -1``,
+        e.g. fast-failed against a down NIC) are measured from
+        ``submit_time`` instead of producing a nonsensical negative
+        value.
+        """
+        if self.start_time < 0.0:
+            return self.finish_time - self.submit_time
         return self.finish_time - self.start_time
+
+    @property
+    def queued_time(self) -> float:
+        """Time spent between submission and becoming bandwidth-active."""
+        active_from = self.start_time if self.start_time >= 0.0 else self.finish_time
+        return active_from - self.submit_time
 
 
 class Network:
@@ -80,7 +121,13 @@ class Network:
     ``network.loop.run()`` to drive everything to completion.
     """
 
-    def __init__(self, cluster: Cluster, loop: Optional[EventLoop] = None) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        loop: Optional[EventLoop] = None,
+        faults: Optional[FaultSchedule] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.cluster = cluster
         self.loop = loop if loop is not None else EventLoop()
         self._active: dict[int, Flow] = {}
@@ -91,6 +138,22 @@ class Network:
         self.trace: list[FlowRecord] = []
         self.bytes_cross_host = 0.0
         self.bytes_intra_host = 0.0
+        # -- fault tolerance (all no-ops when faults is None) ----------
+        self.faults = faults
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.n_failures = 0
+        self.n_retries = 0
+        self.n_abandoned = 0
+        self.wasted_bytes = 0.0  # transferred by attempts that failed
+        self.added_latency = 0.0  # estimated time lost to faults
+        self.incidents: list[FaultIncident] = []
+        if faults is not None:
+            # NIC capacity is piecewise-constant between fault window
+            # boundaries; revisit rate allocation (and kill flows caught
+            # on a flapped NIC) exactly at those instants.
+            for b in faults.boundaries():
+                if b > self.loop.now:
+                    self.loop.call_at(b, self._on_fault_boundary)
 
     # ------------------------------------------------------------------
     # Port model
@@ -106,7 +169,19 @@ class Network:
         spec = self.cluster.spec
         if port[0] == "d":
             return spec.intra_host_bandwidth
-        return spec.host_nic_bandwidth(int(port[2:]))
+        bw = spec.host_nic_bandwidth(int(port[2:]))
+        if self.faults is not None:
+            bw *= self.faults.nic_factor(int(port[2:]), self.loop.now)
+        return bw
+
+    def _nic_down_for(self, flow: Flow) -> bool:
+        """True if any NIC port the flow traverses is flapped down now."""
+        assert self.faults is not None
+        now = self.loop.now
+        return any(
+            p[0] == "n" and self.faults.host_down(int(p[2:]), now)
+            for p in flow.ports
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -119,13 +194,16 @@ class Network:
         on_complete: Optional[Callable[[Flow], None]] = None,
         tag: str = "",
         extra_latency: float = 0.0,
+        on_abandon: Optional[Callable[[Flow], None]] = None,
     ) -> Flow:
         """Submit a transfer of ``nbytes`` from device ``src`` to ``dst``.
 
         The flow becomes bandwidth-active after the link's fixed startup
         latency (plus ``extra_latency``, e.g. software overhead), then
         progresses at its max-min fair rate until done.  ``on_complete``
-        fires at the finish instant.
+        fires at the finish instant.  Under fault injection a flow that
+        exhausts its retry budget fires ``on_abandon`` instead (never
+        both).
         """
         if src == dst:
             raise ValueError("flow source and destination must differ")
@@ -141,6 +219,7 @@ class Network:
             on_complete=on_complete,
             tag=tag,
             submit_time=self.loop.now,
+            on_abandon=on_abandon,
         )
         self._next_id += 1
         latency = self.cluster.link_latency(src, dst) + extra_latency
@@ -152,11 +231,18 @@ class Network:
     # ------------------------------------------------------------------
     def _activate(self, flow: Flow) -> None:
         self._advance_to_now()
+        if self.faults is not None and self._nic_down_for(flow):
+            # Fast-fail: the NIC is down, the transfer cannot start.
+            # start_time stays -1 — the flow never became active.
+            self._fail_flow(flow, "nic-down")
+            self._reallocate_and_schedule()
+            return
         flow.start_time = self.loop.now
         if flow.remaining <= 0.0:
             self._finish(flow)
         else:
             self._active[flow.flow_id] = flow
+            self._arm_timeout(flow)
         self._reallocate_and_schedule()
 
     def _advance_to_now(self) -> None:
@@ -254,6 +340,14 @@ class Network:
         self._reallocate_and_schedule()
 
     def _finish(self, flow: Flow) -> None:
+        if self.faults is not None:
+            self._cancel_timeout(flow)
+            if self.faults.should_drop(flow.flow_id, flow.attempts):
+                # Lost in transit: the bandwidth was spent, the payload
+                # was not delivered — detected at the delivery instant.
+                flow.remaining = 0.0
+                self._fail_flow(flow, "dropped")
+                return
         flow.finish_time = self.loop.now
         flow.remaining = 0.0
         if self.cluster.same_host(flow.src, flow.dst):
@@ -270,10 +364,118 @@ class Network:
                 start_time=flow.start_time,
                 finish_time=flow.finish_time,
                 tag=flow.tag,
+                attempts=flow.attempts,
+                status="ok" if flow.attempts == 1 else "retried",
             )
         )
         if flow.on_complete is not None:
             flow.on_complete(flow)
+
+    # ------------------------------------------------------------------
+    # Fault machinery (reached only when a FaultSchedule is installed)
+    # ------------------------------------------------------------------
+    def _record(self, flow: Flow, status: str) -> None:
+        self.trace.append(
+            FlowRecord(
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                nbytes=flow.nbytes,
+                submit_time=flow.submit_time,
+                start_time=flow.start_time,
+                finish_time=self.loop.now,
+                tag=flow.tag,
+                attempts=flow.attempts,
+                status=status,
+            )
+        )
+
+    def _fail_flow(self, flow: Flow, reason: str) -> None:
+        """One attempt failed: record it and retry or abandon."""
+        self._active.pop(flow.flow_id, None)
+        self._cancel_timeout(flow)
+        now = self.loop.now
+        self.n_failures += 1
+        if flow.start_time >= 0.0:
+            self.wasted_bytes += flow.nbytes - flow.remaining
+        attempt_began = flow.start_time if flow.start_time >= 0.0 else now
+        exhausted = self.retry_policy.exhausted(flow.attempts)
+        self.incidents.append(
+            FaultIncident(
+                kind=reason,
+                where=f"flow {flow.flow_id} d{flow.src}->d{flow.dst} [{flow.tag}]",
+                time=now,
+                attempt=flow.attempts,
+                resolved=not exhausted,
+            )
+        )
+        if exhausted:
+            self.n_abandoned += 1
+            flow.abandoned = True
+            flow.finish_time = now
+            self._record(flow, "abandoned")
+            if flow.on_abandon is not None:
+                flow.on_abandon(flow)
+            return
+        self._record(flow, "failed")
+        delay = self.retry_policy.backoff(flow.attempts, self.faults.seed, flow.flow_id)
+        self.added_latency += (now - attempt_began) + delay
+        self.n_retries += 1
+        flow.attempts += 1
+        flow.remaining = flow.nbytes
+        flow.start_time = -1.0
+        flow.rate = 0.0
+        latency = self.cluster.link_latency(flow.src, flow.dst)
+        self.loop.call_after(delay + latency, lambda: self._activate(flow))
+
+    def _arm_timeout(self, flow: Flow) -> None:
+        if self.faults is None or self.retry_policy.flow_timeout is None:
+            return
+        attempt = flow.attempts
+        flow.timeout_event = self.loop.call_after(
+            self.retry_policy.flow_timeout,
+            lambda: self._on_flow_timeout(flow, attempt),
+        )
+
+    def _cancel_timeout(self, flow: Flow) -> None:
+        if flow.timeout_event is not None:
+            flow.timeout_event.cancel()
+            flow.timeout_event = None
+
+    def _on_flow_timeout(self, flow: Flow, attempt: int) -> None:
+        if self._active.get(flow.flow_id) is not flow or flow.attempts != attempt:
+            return  # already finished / failed / retried
+        self._advance_to_now()
+        self._fail_flow(flow, "timeout")
+        self._reallocate_and_schedule()
+
+    def _on_fault_boundary(self) -> None:
+        """A fault window opened or closed: rates change right now."""
+        self._advance_to_now()
+        victims = [f for f in self._active.values() if self._nic_down_for(f)]
+        for f in victims:
+            # Mid-flight NIC flap: partial progress is lost.
+            self._fail_flow(f, "nic-flap")
+        self._reallocate_and_schedule()
+
+    def fault_report(self) -> Optional[FaultReport]:
+        """Summary of fault activity; ``None`` without a FaultSchedule."""
+        if self.faults is None:
+            return None
+        if self.n_abandoned:
+            status = "fatal"
+        elif self.n_failures:
+            status = "recovered"
+        else:
+            status = "clean"
+        return FaultReport(
+            status=status,
+            n_faults=self.n_failures,
+            n_retries=self.n_retries,
+            n_abandoned=self.n_abandoned,
+            added_latency=self.added_latency,
+            incidents=list(self.incidents),
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -40,7 +40,14 @@ DEFAULT_BROADCAST_CHUNKS = 64
 
 
 class CollectiveHandle:
-    """Completion tracker for a group of chained flows."""
+    """Completion tracker for a group of chained flows.
+
+    Under fault injection a constituent flow may be *abandoned* (retry
+    budget exhausted); the handle then completes early with
+    ``failed=True`` — downstream hops are never submitted and the
+    collective's data did not fully arrive, but nothing deadlocks and
+    the caller can observe the failure.
+    """
 
     def __init__(self, network: Network, name: str = "") -> None:
         self.network = network
@@ -48,6 +55,8 @@ class CollectiveHandle:
         self.n_total = 0
         self.n_done = 0
         self.finish_time: float = -1.0
+        self.failed = False
+        self.fail_reason = ""
         self._sealed = False
         self._callbacks: list[Callable[["CollectiveHandle"], None]] = []
 
@@ -63,6 +72,21 @@ class CollectiveHandle:
     def _flow_done(self) -> None:
         self.n_done += 1
         self._maybe_finish()
+
+    def _flow_abandoned(self, flow=None) -> None:
+        """A constituent flow gave up; fail the whole collective."""
+        self._abort(
+            f"flow abandoned ({flow.tag})" if flow is not None else "flow abandoned"
+        )
+
+    def _abort(self, reason: str) -> None:
+        if self.done:
+            return
+        self.failed = True
+        self.fail_reason = reason
+        self.finish_time = self.network.loop.now
+        for cb in self._callbacks:
+            cb(self)
 
     def _maybe_finish(self) -> None:
         if self._sealed and self.n_done >= self.n_total and self.finish_time < 0:
@@ -83,6 +107,8 @@ class CollectiveHandle:
 
     def __repr__(self) -> str:
         state = f"done@{self.finish_time:.6f}" if self.done else "pending"
+        if self.failed:
+            state = f"failed@{self.finish_time:.6f} ({self.fail_reason})"
         return f"CollectiveHandle({self.name!r}, {self.n_done}/{self.n_total}, {state})"
 
 
@@ -135,7 +161,10 @@ def p2p(
     """Point-to-point send/recv of one message."""
     handle = CollectiveHandle(network, tag)
     handle._expect(1)
-    network.start_flow(src, dst, nbytes, lambda f: handle._flow_done(), tag=tag)
+    network.start_flow(
+        src, dst, nbytes, lambda f: handle._flow_done(), tag=tag,
+        on_abandon=handle._flow_abandoned,
+    )
     handle._seal()
     return handle
 
@@ -162,7 +191,10 @@ def scatter(
     part = total_bytes / len(group)  # the root's own part stays local
     handle._expect(len(remote))
     for dst in remote:
-        network.start_flow(root, dst, part, lambda f: handle._flow_done(), tag=tag)
+        network.start_flow(
+            root, dst, part, lambda f: handle._flow_done(), tag=tag,
+            on_abandon=handle._flow_abandoned,
+        )
     handle._seal()
     return handle
 
@@ -208,7 +240,10 @@ def ring_allgather(
             handle._flow_done()
             maybe_start(j + 1, (i + 1) % n)
 
-        network.start_flow(src, dst, shard_bytes, on_done, tag=f"{tag}:r{j}")
+        network.start_flow(
+            src, dst, shard_bytes, on_done, tag=f"{tag}:r{j}",
+            on_abandon=handle._flow_abandoned,
+        )
 
     for i in range(n):
         maybe_start(1, i)
@@ -263,7 +298,8 @@ def ring_broadcast(
             maybe_start(c + 1, h)
 
         network.start_flow(
-            ring[h], ring[h + 1], chunks[c], on_done, tag=f"{tag}:c{c}h{h}"
+            ring[h], ring[h + 1], chunks[c], on_done, tag=f"{tag}:c{c}h{h}",
+            on_abandon=handle._flow_abandoned,
         )
 
     maybe_start(0, 0)

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 from ..core.executor import simulate_plan
 from ..core.plan import CommPlan
 from ..core.task import ReshardingTask
+from ..sim.faults import FaultSchedule, RetryPolicy
 from .allgather import AllGatherStrategy
 from .base import CommStrategy
 from .broadcast import BroadcastStrategy
@@ -27,11 +28,22 @@ __all__ = ["AutoStrategy"]
 class AutoStrategy(CommStrategy):
     name = "auto"
 
-    def __init__(self, candidates: Optional[Sequence[CommStrategy]] = None) -> None:
+    def __init__(
+        self,
+        candidates: Optional[Sequence[CommStrategy]] = None,
+        faults: Optional[FaultSchedule] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.faults = faults
+        self.retry_policy = retry_policy
         self.candidates: tuple[CommStrategy, ...] = (
             tuple(candidates)
             if candidates is not None
-            else (SendRecvStrategy(), AllGatherStrategy(), BroadcastStrategy())
+            else (
+                SendRecvStrategy(faults=faults),
+                AllGatherStrategy(),
+                BroadcastStrategy(faults=faults),
+            )
         )
         if not self.candidates:
             raise ValueError("need at least one candidate strategy")
@@ -39,15 +51,24 @@ class AutoStrategy(CommStrategy):
         self.last_scores: list[tuple[str, float]] = []
 
     def plan(self, task: ReshardingTask) -> CommPlan:
-        best_plan: Optional[CommPlan] = None
-        best_time = float("inf")
+        """Compile every candidate, score by simulation, return the best.
+
+        With a fault schedule, scoring runs each candidate on a lossy
+        network so the pick accounts for retries and degraded links;
+        plans that go fatal under the scenario are only chosen when no
+        candidate survives.
+        """
+        best: Optional[tuple[bool, float, CommPlan]] = None
         self.last_scores = []
         for strat in self.candidates:
             plan = strat.plan(task)
-            t = simulate_plan(plan).total_time
-            self.last_scores.append((strat.name, t))
-            if t < best_time:
-                best_time = t
-                best_plan = plan
-        assert best_plan is not None
-        return best_plan
+            result = simulate_plan(
+                plan, faults=self.faults, retry_policy=self.retry_policy
+            )
+            fatal = result.fault_report is not None and result.fault_report.fatal
+            self.last_scores.append((strat.name, result.total_time))
+            key = (fatal, result.total_time, plan)
+            if best is None or key[:2] < best[:2]:
+                best = key
+        assert best is not None
+        return best[2]

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import defaultdict
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..core.plan import CommPlan
 from ..core.task import ReshardingTask
+from ..sim.faults import FaultSchedule
 
 __all__ = ["CommStrategy", "LoadTracker"]
 
@@ -33,12 +34,50 @@ class LoadTracker:
     which picks the sender with the lowest load for the next data
     slice" (§5.1.2); load is tracked at host level (hosts are the
     bottleneck) with per-device load as tie-break.
+
+    With a :class:`~repro.sim.faults.FaultSchedule`, host load is
+    normalized by the host's *effective* NIC bandwidth (nominal x
+    time-averaged degradation factor), so a half-speed host is charged
+    double per byte and receives proportionally less work; flapped-down
+    hosts can be excluded entirely via :meth:`healthy`.
     """
 
-    def __init__(self, cluster) -> None:
+    def __init__(self, cluster, faults: Optional[FaultSchedule] = None) -> None:
         self.cluster = cluster
+        self.faults = faults
         self.host_load: dict[int, float] = defaultdict(float)
         self.device_load: dict[int, float] = defaultdict(float)
+        self._host_weight: dict[int, float] = {}
+
+    def _weight(self, host: int) -> float:
+        """Cost multiplier per byte sent from ``host`` (1 when healthy)."""
+        if self.faults is None:
+            return 1.0
+        w = self._host_weight.get(host)
+        if w is None:
+            spec = self.cluster.spec
+            effective = (
+                spec.host_nic_bandwidth(host) * self.faults.mean_nic_factor(host)
+            )
+            w = spec.inter_host_bandwidth / max(effective, 1e-9)
+            self._host_weight[host] = w
+        return w
+
+    def healthy(self, candidates: Sequence[int], at: float = 0.0) -> list[int]:
+        """Candidates whose host NIC is not flapped down at time ``at``.
+
+        Falls back to the full candidate list when every host is down —
+        a doomed pick is still better than no plan (the runtime's retry
+        machinery may yet save it).
+        """
+        if self.faults is None:
+            return list(candidates)
+        up = [
+            d
+            for d in candidates
+            if not self.faults.host_down(self.cluster.host_of(d), at)
+        ]
+        return up if up else list(candidates)
 
     def pick(self, candidates: Sequence[int], nbytes: float) -> int:
         """Choose the least-loaded candidate device and charge it."""
@@ -66,4 +105,5 @@ class LoadTracker:
 
     def charge(self, device: int, nbytes: float) -> None:
         self.device_load[device] += nbytes
-        self.host_load[self.cluster.host_of(device)] += nbytes
+        host = self.cluster.host_of(device)
+        self.host_load[host] += nbytes * self._weight(host)

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
-from ..core.plan import BroadcastOp, CommPlan
+from ..core.plan import BroadcastOp, CommPlan, FallbackRecord
 from ..core.task import ReshardingTask
 from ..scheduling import SCHEDULERS, Schedule, SchedulingProblem
+from ..sim.faults import FaultSchedule
 from .base import CommStrategy, LoadTracker
 
 __all__ = ["BroadcastStrategy", "adaptive_chunks", "TARGET_CHUNK_BYTES", "MAX_CHUNKS"]
@@ -52,8 +53,10 @@ class BroadcastStrategy(CommStrategy):
         n_chunks: Optional[int] = None,
         gate_on_schedule: bool = True,
         granularity: str = "intersection",
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.granularity = granularity
+        self.faults = faults
         if isinstance(scheduler, str):
             if scheduler not in SCHEDULERS:
                 raise ValueError(
@@ -71,13 +74,21 @@ class BroadcastStrategy(CommStrategy):
 
     def plan(self, task: ReshardingTask) -> CommPlan:
         plan = CommPlan(task=task, strategy=self.name, granularity=self.granularity)
-        problem = SchedulingProblem.from_resharding(task, granularity=self.granularity)
+        problem = SchedulingProblem.from_resharding(
+            task, granularity=self.granularity, faults=self.faults
+        )
         schedule = self._scheduler(problem)
-        load = LoadTracker(task.cluster)
+        load = LoadTracker(task.cluster, faults=self.faults)
         for ut in task.unit_tasks(self.granularity):
             if not ut.receivers:
                 continue
             host = schedule.assignment[ut.task_id]
+            rerooted = self._reroot(task, ut, host, plan)
+            if rerooted != host:
+                # Keep the schedule consistent: Eq. 3 gating (and any
+                # later inspection) must see the host actually used.
+                schedule.assignment[ut.task_id] = rerooted
+                host = rerooted
             sender = load.pick_on_host(ut.senders, host, ut.nbytes)
             plan.add(
                 BroadcastOp(
@@ -97,3 +108,38 @@ class BroadcastStrategy(CommStrategy):
         if self.gate_on_schedule:
             plan.schedule = schedule
         return plan
+
+    def _reroot(
+        self,
+        task: ReshardingTask,
+        ut,
+        host: int,
+        plan: CommPlan,
+    ) -> int:
+        """Re-root onto a surviving replica host if ``host`` is down.
+
+        The scheduler may assign a sender host whose NIC is flapped down
+        at plan time; rather than launching a doomed broadcast and
+        relying on retries, pick the surviving sender host with the best
+        effective bandwidth and record the fallback.  When *every*
+        replica host is down the original assignment is kept — the
+        runtime retry machinery is then the only hope.
+        """
+        if self.faults is None or not self.faults.host_down(host, 0.0):
+            return host
+        survivors = [
+            h for h in sorted(task.sender_hosts(ut))
+            if not self.faults.host_down(h, 0.0)
+        ]
+        if not survivors:
+            return host
+        best = max(survivors, key=lambda h: (self.faults.mean_nic_factor(h), -h))
+        plan.fallbacks.append(
+            FallbackRecord(
+                unit_task_id=ut.task_id,
+                from_host=host,
+                to_host=best,
+                reason="sender-host-down",
+            )
+        )
+        return best

@@ -10,8 +10,11 @@ latency grows as ``A x B x t`` in Figure 5.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.plan import CommPlan, SendOp
 from ..core.task import ReshardingTask
+from ..sim.faults import FaultSchedule
 from .base import CommStrategy, LoadTracker
 
 __all__ = ["SendRecvStrategy"]
@@ -20,15 +23,24 @@ __all__ = ["SendRecvStrategy"]
 class SendRecvStrategy(CommStrategy):
     name = "send_recv"
 
-    def __init__(self, granularity: str = "intersection") -> None:
+    def __init__(
+        self,
+        granularity: str = "intersection",
+        faults: Optional[FaultSchedule] = None,
+    ) -> None:
         self.granularity = granularity
+        self.faults = faults
 
     def plan(self, task: ReshardingTask) -> CommPlan:
         plan = CommPlan(task=task, strategy=self.name, granularity=self.granularity)
-        load = LoadTracker(task.cluster)
+        load = LoadTracker(task.cluster, faults=self.faults)
         for ut in task.unit_tasks(self.granularity):
+            # Failure-aware: skip senders on hosts whose NIC is down at
+            # plan time (degraded hosts are handled by the weighted
+            # load, flapped hosts by exclusion).
+            candidates = load.healthy(ut.senders)
             for receiver in ut.receivers:
-                sender = load.pick(ut.senders, ut.nbytes)
+                sender = load.pick(candidates, ut.nbytes)
                 plan.add(
                     SendOp(
                         op_id=plan.next_op_id,
