@@ -1,0 +1,79 @@
+"""Elastic-recovery benchmark — sweep regeneration plus overhead gates.
+
+Two gates guard the recovery runtime:
+
+* **fault-free overhead**: driving a training run through
+  ``simulate_training_run`` (failure scanning, checkpoint plumbing, the
+  elastic supervisor loop) with checkpointing disabled must land within
+  2% of the plain per-iteration cost ``n * run_iteration(...)`` — the
+  recovery path must be free when nothing fails;
+* **determinism**: two runs of the same seeded failure scenario must
+  agree bit-for-bit (state digest) and exactly on the simulated clock.
+"""
+
+from conftest import save_table
+
+from repro.experiments.recovery import (
+    STATE_ELEMS,
+    poisson_host_failures,
+    recovery_job,
+    run_interval_sweep,
+    sweep_config,
+)
+from repro.models.parallel import run_iteration
+from repro.recovery import CheckpointConfig, simulate_training_run
+
+N_ITERATIONS = 20
+
+
+def fault_free_run():
+    spec = recovery_job()
+    return simulate_training_run(
+        spec,
+        N_ITERATIONS,
+        config=CheckpointConfig(interval=0),
+        state_elems_per_stage=STATE_ELEMS,
+    )
+
+
+def test_regenerate_recovery_sweep(benchmark, results_dir):
+    table = benchmark.pedantic(run_interval_sweep, rounds=1, iterations=1)
+    save_table(results_dir, "recovery_interval_sweep", table)
+    assert all(r >= 1 for r in table.column("restarts"))
+    assert all(o < 0.5 for o in table.column("overhead"))
+
+
+def test_fault_free_overhead_under_2_percent(benchmark):
+    """Acceptance gate: the recovery path is free when nothing fails."""
+    spec = recovery_job()
+    per_iter = run_iteration(spec, "broadcast").iteration_time
+    rep = benchmark.pedantic(fault_free_run, rounds=3, iterations=1)
+    assert rep.completed and rep.n_restarts == 0 and rep.n_checkpoints == 0
+    baseline = N_ITERATIONS * per_iter
+    assert abs(rep.total_time - baseline) / baseline < 0.02
+
+
+def test_recovery_run_is_deterministic(benchmark):
+    spec = recovery_job()
+    iter_time = run_iteration(spec, "broadcast").iteration_time
+    faults = poisson_host_failures(
+        seed=7,
+        mtbf=10.0 * iter_time,
+        horizon=60.0 * iter_time,
+        hosts=(0, 1),
+    )
+
+    def once():
+        return simulate_training_run(
+            spec,
+            N_ITERATIONS,
+            faults=faults,
+            config=sweep_config(5),
+            state_elems_per_stage=STATE_ELEMS,
+        )
+
+    first = once()
+    second = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert first.n_restarts >= 1
+    assert first.state_digest == second.state_digest
+    assert first.total_time == second.total_time

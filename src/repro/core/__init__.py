@@ -23,6 +23,7 @@ from .slices import (
 )
 from .spec import REPLICATED, ShardingSpec, parse_spec
 from .validate import CoverageReport, PlanValidationError, verify_plan_coverage
+from .verify_data import IntegrityError, IntegrityReport, verify_delivery
 from .task import IntersectionTransfer, ReshardingTask, UnitCommTask
 from .tensor import DistributedTensor
 
@@ -65,4 +66,7 @@ __all__ = [
     "verify_plan_coverage",
     "PlanValidationError",
     "CoverageReport",
+    "verify_delivery",
+    "IntegrityError",
+    "IntegrityReport",
 ]

@@ -34,7 +34,11 @@ class TimingResult:
 
     Under fault injection ``fault_report`` summarizes what struck and
     whether the plan recovered; ``failed_ops`` lists ops whose transfers
-    were abandoned (their data never fully arrived).
+    were abandoned (their data never fully arrived).  ``blocked_tasks``
+    lists unit tasks gated (via the schedule's host ordering) behind a
+    task whose ops *all* failed: their host queue was wedged, so their
+    own apparent completion is vacuous — they are dropped from
+    ``task_finish`` and their ops counted as failed.
     """
 
     total_time: float
@@ -45,6 +49,7 @@ class TimingResult:
     network: Network = field(repr=False)
     fault_report: Optional[FaultReport] = None
     failed_ops: tuple[int, ...] = ()
+    blocked_tasks: tuple[int, ...] = ()
 
     @property
     def makespan(self) -> float:
@@ -99,7 +104,6 @@ def simulate_plan(
         if network is not None
         else Network(plan.task.cluster, faults=faults, retry_policy=retry_policy)
     )
-    cluster = plan.task.cluster
     base_cross = net.bytes_cross_host
     base_intra = net.bytes_intra_host
 
@@ -137,9 +141,6 @@ def simulate_plan(
                         task_preds[tid].add(prev)
                         task_succs[prev].add(tid)
                 last_on_host[h] = tid
-
-    def task_released(tid: int) -> bool:
-        return tid == -1 or not task_preds.get(tid) or tid in released
 
     def op_ready(op: CommOp) -> bool:
         return (
@@ -204,12 +205,37 @@ def simulate_plan(
     # reporting (should not happen — abandonment aborts the handle), or
     # it was gated behind a failed op; treat both as failed, not hung.
     failed_ops.update(missing)
+
+    # A task whose ops ALL failed wedged its host queues: the tasks
+    # ordered behind it (transitively) ran against a broken ordering
+    # guarantee, so their completion is vacuous.  Mark them blocked,
+    # drop their (meaningless) finish times, and fail their ops.
+    blocked: set[int] = set()
+    if failed_ops:
+        fully_failed = {
+            tid
+            for tid, ops in task_ops.items()
+            if tid != -1 and ops and all(op.op_id in failed_ops for op in ops)
+        }
+        frontier = list(fully_failed)
+        while frontier:
+            tid = frontier.pop()
+            for succ in task_succs.get(tid, ()):
+                if succ not in blocked and succ not in fully_failed:
+                    blocked.add(succ)
+                    frontier.append(succ)
+        for tid in blocked:
+            task_finish.pop(tid, None)
+            failed_ops.update(op.op_id for op in task_ops.get(tid, ()))
+
     report = net.fault_report()
     if report is not None and failed_ops:
-        report.status = "fatal"
-        report.detail = f"{len(failed_ops)} op(s) did not deliver: " + ", ".join(
+        detail = f"{len(failed_ops)} op(s) did not deliver: " + ", ".join(
             str(i) for i in sorted(failed_ops)[:10]
         )
+        if blocked:
+            detail += f"; {len(blocked)} task(s) blocked behind failed tasks"
+        report.escalate(detail)
     total = max(op_finish.values(), default=0.0)
     return TimingResult(
         total_time=total,
@@ -220,6 +246,7 @@ def simulate_plan(
         network=net,
         fault_report=report,
         failed_ops=tuple(sorted(failed_ops)),
+        blocked_tasks=tuple(sorted(blocked)),
     )
 
 

@@ -9,7 +9,7 @@ can verify every destination device ends up with exactly its tile.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Mapping
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from ..models.parallel import METHODS, MethodSpec, resolve_comm_edges, run_iteration
+from ..models.parallel import resolve_comm_edges
 from ..models.utransformer import UTransformerConfig, build_utransformer
 from ..pipeline.executor import simulate_pipeline
 from ..pipeline.schedules import one_f_one_b_order, split_backward

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..core.mesh import DeviceMesh
 from ..sim.cluster import Cluster, ClusterSpec

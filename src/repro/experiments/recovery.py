@@ -1,0 +1,207 @@
+"""R1 — elastic recovery: time-to-recover vs. MTBF and checkpoint interval.
+
+Not a figure from the paper: the paper assumes a healthy cluster.  This
+experiment characterizes the recovery runtime built on top of its
+resharding machinery, sweeping
+
+* **checkpoint interval** under a fixed failure schedule — the classic
+  U-curve (checkpoint too often: write overhead; too rarely: long
+  warmup after rollback), compared against the Young/Daly first-order
+  optimum ``sqrt(2 * delta * MTBF)``;
+* **MTBF** at a fixed interval — how total overhead and the
+  detect/load/reshard/warmup breakdown scale as failures get denser.
+
+Failure schedules are deterministic: exponential inter-arrival draws
+from a seeded RNG, victims round-robin over the working hosts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..models.gpt import GPTConfig, build_gpt
+from ..models.parallel import ParallelJobSpec
+from ..recovery import CheckpointConfig, optimal_interval, simulate_training_run
+from ..sim.cluster import Cluster, ClusterSpec
+from ..sim.faults import FaultSchedule, HostFailure
+from .common import ExperimentTable
+
+__all__ = [
+    "poisson_host_failures",
+    "recovery_job",
+    "run_interval_sweep",
+    "run_mtbf_sweep",
+    "run",
+]
+
+
+def poisson_host_failures(
+    seed: int, mtbf: float, horizon: float, hosts: tuple[int, ...]
+) -> FaultSchedule:
+    """Exponential failure arrivals over ``[0, horizon)``, one distinct
+    victim per arrival (a host dies at most once)."""
+    rng = random.Random(seed)
+    t = 0.0
+    victims = list(hosts)
+    failures: list[HostFailure] = []
+    while victims:
+        t += rng.expovariate(1.0 / mtbf)
+        if t >= horizon:
+            break
+        failures.append(HostFailure(host=victims.pop(0), time=t))
+    return FaultSchedule(seed=seed, host_failures=tuple(failures))
+
+
+#: per-stage optimizer-state elements — sized so one checkpoint write is
+#: a visible fraction of an iteration and the Young/Daly optimum lands
+#: inside the swept interval range instead of degenerating to "always".
+STATE_ELEMS = 1 << 22
+
+
+def recovery_job(n_spares: int = 2) -> ParallelJobSpec:
+    """The sweep workload: a small 2-stage GPT on 2 hosts plus spares
+    (small so iteration time and checkpoint cost are commensurate)."""
+    cluster = Cluster(
+        ClusterSpec(n_hosts=2 + n_spares, devices_per_host=4, n_spare_hosts=n_spares)
+    )
+    config = GPTConfig(name="GPT-small", n_layers=4, hidden=1024, dp=2, op=2, pp=2)
+    return build_gpt(config, cluster=cluster)
+
+
+def sweep_config(interval: int) -> CheckpointConfig:
+    return CheckpointConfig(
+        interval=interval,
+        write_bandwidth=1e8,
+        read_bandwidth=2e8,
+        detection_latency=0.5,
+    )
+
+
+def run_interval_sweep(
+    n_iterations: int = 30,
+    mtbf_iterations: float = 12.0,
+    intervals: tuple[int, ...] = (1, 2, 5, 10, 15, 30),
+    seed: int = 7,
+) -> ExperimentTable:
+    """Total-time U-curve over the checkpoint interval, Young/Daly marked."""
+    spec = recovery_job()
+    base = simulate_training_run(
+        spec, n_iterations, config=sweep_config(0), state_elems_per_stage=STATE_ELEMS
+    )
+    iter_time = base.total_time / n_iterations
+    mtbf = mtbf_iterations * iter_time
+    faults = poisson_host_failures(
+        seed, mtbf, horizon=3.0 * n_iterations * iter_time, hosts=(0, 1)
+    )
+    # Measured per-checkpoint cost, for the analytic optimum.
+    delta = (
+        simulate_training_run(
+            spec, 2, config=sweep_config(1), state_elems_per_stage=STATE_ELEMS
+        ).checkpoint_time
+        / 2.0
+    )
+    yd_iters = optimal_interval(mtbf, delta) / iter_time
+    table = ExperimentTable(
+        experiment_id="R1a",
+        title="Elastic recovery: checkpoint-interval sweep under host failures",
+        columns=[
+            "interval (iters)",
+            "total (s)",
+            "overhead",
+            "restarts",
+            "ckpt (s)",
+            "warmup (s)",
+            "reshard (s)",
+        ],
+        notes=(
+            f"MTBF {mtbf:.0f}s (~{mtbf_iterations:g} iters); Young/Daly "
+            f"optimum ~{yd_iters:.1f} iters; seed {seed}"
+        ),
+    )
+    for interval in intervals:
+        rep = simulate_training_run(
+            spec,
+            n_iterations,
+            faults=faults,
+            config=sweep_config(interval),
+            max_restarts=8,
+            state_elems_per_stage=STATE_ELEMS,
+        )
+        table.add(
+            **{
+                "interval (iters)": interval,
+                "total (s)": rep.total_time,
+                "overhead": rep.overhead,
+                "restarts": rep.n_restarts,
+                "ckpt (s)": rep.checkpoint_time,
+                "warmup (s)": rep.time_warmup,
+                "reshard (s)": rep.time_reshard,
+            }
+        )
+    return table
+
+
+def run_mtbf_sweep(
+    n_iterations: int = 30,
+    mtbf_iterations: tuple[float, ...] = (6.0, 12.0, 24.0, 48.0),
+    interval: int = 5,
+    seed: int = 7,
+) -> ExperimentTable:
+    """Recovery breakdown as failures get denser."""
+    spec = recovery_job()
+    base = simulate_training_run(
+        spec, n_iterations, config=sweep_config(0), state_elems_per_stage=STATE_ELEMS
+    )
+    iter_time = base.total_time / n_iterations
+    table = ExperimentTable(
+        experiment_id="R1b",
+        title="Elastic recovery: overhead breakdown vs. MTBF",
+        columns=[
+            "MTBF (iters)",
+            "restarts",
+            "overhead",
+            "detect (s)",
+            "load (s)",
+            "reshard (s)",
+            "warmup (s)",
+            "wasted (s)",
+        ],
+        notes=f"checkpoint interval {interval} iters; seed {seed}",
+    )
+    for m in mtbf_iterations:
+        faults = poisson_host_failures(
+            seed, m * iter_time, horizon=3.0 * n_iterations * iter_time, hosts=(0, 1)
+        )
+        rep = simulate_training_run(
+            spec,
+            n_iterations,
+            faults=faults,
+            config=sweep_config(interval),
+            max_restarts=8,
+            state_elems_per_stage=STATE_ELEMS,
+        )
+        table.add(
+            **{
+                "MTBF (iters)": m,
+                "restarts": rep.n_restarts,
+                "overhead": rep.overhead,
+                "detect (s)": rep.time_detect,
+                "load (s)": rep.time_load,
+                "reshard (s)": rep.time_reshard,
+                "warmup (s)": rep.time_warmup,
+                "wasted (s)": rep.time_wasted,
+            }
+        )
+    return table
+
+
+def run() -> list[ExperimentTable]:
+    return [run_interval_sweep(), run_mtbf_sweep()]
+
+
+if __name__ == "__main__":
+    from .common import format_markdown
+
+    for t in run():
+        print(format_markdown(t))
+        print()

@@ -200,7 +200,9 @@ def simulate_pipeline(
         raise ValueError(
             f"stage_hosts must map all {job.n_stages} stages, got {len(stage_hosts)}"
         )
-    if faults is not None and not overlap and (faults.drop_rate > 0 or faults.flaps):
+    if faults is not None and not overlap and (
+        faults.drop_rate > 0 or faults.flaps or faults.host_failures
+    ):
         raise ValueError(
             "message loss injection needs overlap=True (blocking sends have "
             "no channel to re-send on); stragglers work in both modes"

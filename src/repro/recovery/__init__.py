@@ -1,0 +1,43 @@
+"""Elastic recovery runtime: checkpoint / replan / resume.
+
+The paper optimizes cross-mesh resharding for a *healthy* cluster; this
+package reuses the exact same machinery — strategies, schedulers, the
+timing and data interpreters — to survive permanent host loss
+(fail-stop: kernel panic, hardware fault, spot reclaim).  The loop:
+
+1. **Checkpoint** model state at iteration boundaries, buddy-replicated
+   onto the next stage's mesh so no single host loss destroys a shard
+   (:mod:`repro.recovery.checkpoint`).
+2. **Replan** after a fatal :class:`~repro.sim.faults.FaultReport`:
+   substitute a warm spare host (or shrink the placement onto the
+   survivors), re-run strategy selection and scheduling on the new
+   topology, and compile the cross-mesh resharding plans that move
+   checkpointed shards from the old layout to the new one
+   (:mod:`repro.recovery.replan`).
+3. **Resume** from the checkpointed iteration, re-running the lost
+   iterations (warmup) on the rebuilt cluster
+   (:func:`repro.recovery.runtime.simulate_training_run`).
+
+Every recovery reshard is executed on the data plane and certified by
+:func:`repro.core.verify_data.verify_delivery`: each destination device
+must receive every element of its new tile exactly once.
+"""
+
+from .checkpoint import Checkpoint, CheckpointConfig, CheckpointStore, optimal_interval
+from .replan import RecoveryError, RecoveryPlan, ReshardStep, place_stages, replan
+from .runtime import RecoveryEvent, RunReport, simulate_training_run
+
+__all__ = [
+    "CheckpointConfig",
+    "Checkpoint",
+    "CheckpointStore",
+    "optimal_interval",
+    "place_stages",
+    "replan",
+    "RecoveryError",
+    "RecoveryPlan",
+    "ReshardStep",
+    "simulate_training_run",
+    "RunReport",
+    "RecoveryEvent",
+]

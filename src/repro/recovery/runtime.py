@@ -1,0 +1,341 @@
+"""The elastic training supervisor: run, crash, replan, resume.
+
+:func:`simulate_training_run` drives a model-parallel training job
+through ``n_iterations`` on the simulated cluster while a
+:class:`~repro.sim.faults.FaultSchedule` injects permanent host
+failures.  The loop:
+
+* healthy iterations advance the wall clock by the pipeline-simulated
+  iteration time and apply a deterministic per-iteration update to each
+  stage's state array (so restored state can be checked bit-for-bit);
+* at checkpoint boundaries the state is snapshotted with the cost model
+  of :mod:`repro.recovery.checkpoint`;
+* when a working host dies, the in-flight iteration is lost, the
+  failure is detected after the health-check latency, the placement is
+  rebuilt and the checkpointed state is resharded onto it
+  (:func:`repro.recovery.replan.replan` — certified on the data plane),
+  and training resumes from the checkpointed iteration, re-running the
+  lost iterations (*warmup*) on the new topology.
+
+Everything is deterministic: same spec + schedule + seed gives a
+byte-identical :class:`RunReport` (the ``state_digest`` field exists to
+assert exactly that across processes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..models.parallel import METHODS, ParallelJobSpec, run_iteration
+from ..sim.faults import FaultSchedule, HostFailure, RetryPolicy
+from .checkpoint import CheckpointConfig, CheckpointStore
+from .replan import RecoveryError, replan
+
+__all__ = ["RecoveryEvent", "RunReport", "simulate_training_run"]
+
+
+@dataclass
+class RecoveryEvent:
+    """One restart: what died, and where the recovery time went.
+
+    The four phases of the breakdown:
+
+    * ``detect`` — failure onset to the runtime learning about it;
+    * ``load`` — reading the last checkpoint back from storage;
+    * ``reshard`` — moving checkpointed shards onto the new placement
+      (the certified cross-mesh resharding);
+    * ``warmup`` — re-running the iterations lost since the checkpoint
+      on the new topology.
+
+    ``wasted`` is the partial iteration in flight when the host died.
+    """
+
+    failure: HostFailure
+    mode: str  # "substitute" | "shrink"
+    promoted_spares: tuple[int, ...]
+    rollback_iterations: int
+    detect: float
+    load: float
+    reshard: float
+    warmup: float
+    wasted: float
+    reshard_bytes: float
+    certified: bool
+
+    @property
+    def recovery_time(self) -> float:
+        return self.detect + self.load + self.reshard + self.warmup + self.wasted
+
+
+@dataclass
+class RunReport:
+    """Outcome of one elastic training run."""
+
+    name: str
+    method: str
+    n_iterations: int
+    iterations_completed: int
+    completed: bool
+    total_time: float
+    ideal_time: float
+    checkpoint_time: float
+    n_checkpoints: int
+    events: list[RecoveryEvent] = field(default_factory=list)
+    state_digest: str = ""
+    aborted_reason: str = ""
+
+    @property
+    def n_restarts(self) -> int:
+        return len(self.events)
+
+    @property
+    def time_detect(self) -> float:
+        return sum(e.detect for e in self.events)
+
+    @property
+    def time_load(self) -> float:
+        return sum(e.load for e in self.events)
+
+    @property
+    def time_reshard(self) -> float:
+        return sum(e.reshard for e in self.events)
+
+    @property
+    def time_warmup(self) -> float:
+        return sum(e.warmup for e in self.events)
+
+    @property
+    def time_wasted(self) -> float:
+        return sum(e.wasted for e in self.events)
+
+    @property
+    def recovery_time(self) -> float:
+        return sum(e.recovery_time for e in self.events)
+
+    @property
+    def overhead(self) -> float:
+        """Fraction of run time not spent on forward progress."""
+        if self.total_time <= 0:
+            return 0.0
+        return (self.total_time - self.ideal_time) / self.total_time
+
+    def __repr__(self) -> str:
+        status = "ok" if self.completed else f"ABORTED ({self.aborted_reason})"
+        return (
+            f"RunReport({self.name}, {status}, "
+            f"{self.iterations_completed}/{self.n_iterations} iters, "
+            f"{self.n_restarts} restart(s), total={self.total_time:.2f}s, "
+            f"overhead={self.overhead:.1%})"
+        )
+
+
+def _init_state(
+    n_stages: int, n_elems: int, seed: int
+) -> dict[int, np.ndarray]:
+    return {
+        s: np.random.default_rng((seed, s)).standard_normal(
+            n_elems, dtype=np.float32
+        )
+        for s in range(n_stages)
+    }
+
+
+def _iteration_update(stage: int, iteration: int) -> np.float32:
+    """Deterministic pure function of (stage, global iteration index):
+    replaying an iteration after a rollback reproduces it exactly."""
+    return np.float32((iteration + 1) * 1e-4 + (stage + 1) * 1e-6)
+
+
+def _digest(state: dict[int, np.ndarray]) -> str:
+    """SHA-256 over the final state arrays (stage order).
+
+    Deliberately excludes timing: a recovered run must end in *exactly*
+    the state a fault-free run reaches, because warmup replays the same
+    deterministic updates from the restored checkpoint.
+    """
+    h = hashlib.sha256()
+    for s in sorted(state):
+        h.update(struct.pack("<i", s))
+        h.update(state[s].tobytes())
+    return h.hexdigest()
+
+
+def simulate_training_run(
+    spec: ParallelJobSpec,
+    n_iterations: int,
+    faults: Optional[FaultSchedule] = None,
+    config: Optional[CheckpointConfig] = None,
+    method: str = "broadcast",
+    retry_policy: Optional[RetryPolicy] = None,
+    max_restarts: int = 4,
+    state_elems_per_stage: int = 1 << 14,
+    seed: int = 0,
+) -> RunReport:
+    """Run ``spec`` for ``n_iterations``, surviving permanent host loss.
+
+    Returns a :class:`RunReport`; raises :class:`RecoveryError` when a
+    failure strikes with no checkpoint to recover from, and
+    :class:`~repro.core.verify_data.IntegrityError` if a recovery
+    reshard fails data-plane certification.  ``max_restarts`` bounds
+    the number of recoveries before the run aborts (reported, not
+    raised — operator intervention, not a bug).
+    """
+    if n_iterations < 1:
+        raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; options: {sorted(METHODS)}")
+    config = config if config is not None else CheckpointConfig()
+    faults = faults if faults is not None else FaultSchedule()
+    store = CheckpointStore(config)
+
+    spec_cur = spec
+    meshes = list(spec.stage_meshes)
+    n_stages = len(meshes)
+    state = _init_state(n_stages, state_elems_per_stage, seed)
+    iter_time = run_iteration(spec_cur, method).iteration_time
+    ideal_time = n_iterations * iter_time
+
+    t = 0.0
+    completed = 0
+    used_spares: frozenset[int] = frozenset()
+    consumed: set[HostFailure] = set()
+    events: list[RecoveryEvent] = []
+
+    if config.enabled:
+        t += store.write(0, t, state, meshes)
+
+    def next_strike() -> Optional[HostFailure]:
+        working = {h for m in meshes for h in m.hosts}
+        live = [
+            f
+            for f in faults.host_failures
+            if f not in consumed and f.host in working
+        ]
+        return min(live, key=lambda f: (f.time, f.host), default=None)
+
+    while completed < n_iterations:
+        strike = next_strike()
+        iter_end = t + iter_time
+        if strike is not None and strike.time < iter_end:
+            # ---- the iteration in flight is lost ----------------------
+            consumed.add(strike)
+            if len(events) >= max_restarts:
+                return RunReport(
+                    name=spec.name,
+                    method=method,
+                    n_iterations=n_iterations,
+                    iterations_completed=completed,
+                    completed=False,
+                    total_time=max(t, strike.time),
+                    ideal_time=ideal_time,
+                    checkpoint_time=store.total_write_time,
+                    n_checkpoints=store.n_writes,
+                    events=events,
+                    state_digest=_digest(state),
+                    aborted_reason=(
+                        f"host {strike.host} died at t={strike.time:.2f}s "
+                        f"after {max_restarts} restart(s) already spent"
+                    ),
+                )
+            if store.latest is None:
+                raise RecoveryError(
+                    f"host {strike.host} died at t={strike.time:.2f}s with "
+                    "no checkpoint to recover from (checkpointing disabled?)"
+                )
+            wasted = max(strike.time - t, 0.0)
+            plan = replan(
+                spec_cur,
+                store.latest,
+                faults,
+                strike.time,
+                used_spares=used_spares,
+                strategy=METHODS[method].strategy,
+                retry_policy=retry_policy,
+            )
+            load = store.read_time(store.latest)
+            meshes = plan.new_meshes
+            # A shrunk stage computes slower in proportion to the devices
+            # it lost (weak-scaling model); substitution keeps sizes.
+            profiles = [
+                dataclasses.replace(
+                    p,
+                    fwd_time=p.fwd_time * k,
+                    bwd_x_time=p.bwd_x_time * k,
+                    bwd_w_time=p.bwd_w_time * k,
+                )
+                for p, k in (
+                    (
+                        spec.profiles[s],
+                        spec.stage_meshes[s].n_devices / meshes[s].n_devices,
+                    )
+                    for s in range(n_stages)
+                )
+            ]
+            spec_cur = dataclasses.replace(
+                spec_cur, stage_meshes=meshes, profiles=profiles
+            )
+            used_spares = used_spares | set(plan.used_spares)
+            new_iter_time = run_iteration(spec_cur, method).iteration_time
+            rollback = completed - store.latest.iteration
+            state = {s: a.copy() for s, a in store.latest.arrays.items()}
+            completed = store.latest.iteration
+            events.append(
+                RecoveryEvent(
+                    failure=strike,
+                    mode=plan.mode,
+                    promoted_spares=plan.used_spares,
+                    rollback_iterations=rollback,
+                    detect=config.detection_latency,
+                    load=load,
+                    reshard=plan.reshard_time,
+                    warmup=rollback * new_iter_time,
+                    wasted=wasted,
+                    reshard_bytes=plan.bytes_moved,
+                    certified=plan.certified,
+                )
+            )
+            iter_time = new_iter_time
+            # Detection may complete while we were still mid-recovery of
+            # an earlier failure; never move the clock backwards.
+            t = (
+                max(strike.time + config.detection_latency, t)
+                + load
+                + plan.reshard_time
+            )
+            # Make the new placement durable right away: until a fresh
+            # checkpoint exists, the old one still references the dead
+            # host and a second failure could strand every replica.
+            t += store.write(completed, t, state, meshes)
+            continue
+
+        # ---- a healthy iteration ------------------------------------
+        for s in range(n_stages):
+            state[s] += _iteration_update(s, completed)
+        completed += 1
+        t = iter_end
+        if (
+            config.enabled
+            and completed % config.interval == 0
+            and completed < n_iterations
+        ):
+            t += store.write(completed, t, state, meshes)
+
+    return RunReport(
+        name=spec.name,
+        method=method,
+        n_iterations=n_iterations,
+        iterations_completed=completed,
+        completed=True,
+        total_time=t,
+        ideal_time=ideal_time,
+        checkpoint_time=store.total_write_time,
+        n_checkpoints=store.n_writes,
+        events=events,
+        state_digest=_digest(state),
+    )

@@ -14,6 +14,7 @@ from .faults import (
     FaultReport,
     FaultSchedule,
     FlapWindow,
+    HostFailure,
     RetryPolicy,
     StragglerWindow,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "Network",
     "DegradedWindow",
     "FlapWindow",
+    "HostFailure",
     "StragglerWindow",
     "FaultSchedule",
     "RetryPolicy",

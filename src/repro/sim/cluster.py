@@ -35,6 +35,11 @@ class ClusterSpec:
     the paper's §1 challenges): a mapping ``host_id -> NIC bandwidth``
     for hosts whose links differ from ``inter_host_bandwidth`` (e.g. a
     mixed 10/25 Gbps fleet).
+
+    ``n_spare_hosts`` marks the *last* k hosts as warm spares: they are
+    fully wired into the fabric but carry no work until the elastic
+    recovery runtime (:mod:`repro.recovery`) substitutes one for a
+    permanently failed host.
     """
 
     n_hosts: int = 2
@@ -49,10 +54,17 @@ class ClusterSpec:
     intra_host_latency: float = 5e-6
     #: per-host NIC bandwidth overrides, bytes/s (heterogeneous fleets)
     host_bandwidth_overrides: tuple[tuple[int, float], ...] = ()
+    #: trailing hosts held back as warm spares for elastic recovery
+    n_spare_hosts: int = 0
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
             raise ValueError(f"n_hosts must be >= 1, got {self.n_hosts}")
+        if not 0 <= self.n_spare_hosts < self.n_hosts:
+            raise ValueError(
+                f"n_spare_hosts must be in [0, n_hosts), got "
+                f"{self.n_spare_hosts} of {self.n_hosts}"
+            )
         if self.devices_per_host < 1:
             raise ValueError(
                 f"devices_per_host must be >= 1, got {self.devices_per_host}"
@@ -84,6 +96,11 @@ class ClusterSpec:
     @property
     def n_devices(self) -> int:
         return self.n_hosts * self.devices_per_host
+
+    @property
+    def n_active_hosts(self) -> int:
+        """Hosts that carry work from the start (non-spares)."""
+        return self.n_hosts - self.n_spare_hosts
 
     def host_nic_bandwidth(self, host: int) -> float:
         """NIC bandwidth of ``host``, honouring overrides."""
@@ -156,6 +173,16 @@ class Cluster:
     @property
     def n_hosts(self) -> int:
         return len(self.hosts)
+
+    @property
+    def active_host_ids(self) -> tuple[int, ...]:
+        """Hosts initially carrying work (everything but the spares)."""
+        return tuple(range(self.spec.n_active_hosts))
+
+    @property
+    def spare_host_ids(self) -> tuple[int, ...]:
+        """Warm spare hosts reserved for elastic recovery."""
+        return tuple(range(self.spec.n_active_hosts, self.spec.n_hosts))
 
     # ------------------------------------------------------------------
     def link_bandwidth(self, src: int, dst: int) -> float:

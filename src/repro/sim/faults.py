@@ -11,7 +11,11 @@ failure classes a production deployment of the system would face —
 * **flow drops**: an individual transfer is lost (checksum failure,
   switch buffer overrun) and detected at its expected delivery instant;
 * **compute stragglers**: a pipeline stage runs slower than profiled for
-  a window (preemption, ECC scrubbing, clock throttling).
+  a window (preemption, ECC scrubbing, clock throttling);
+* **permanent host failures**: a host dies at an instant and never comes
+  back (kernel panic, hardware fault, spot instance reclaim) — the
+  fail-stop model behind the elastic recovery runtime in
+  :mod:`repro.recovery`.
 
 Everything is **deterministic and replayable**: a :class:`FaultSchedule`
 is pure data generated from a seed, and all per-flow decisions (drop or
@@ -37,6 +41,7 @@ __all__ = [
     "DegradedWindow",
     "FlapWindow",
     "StragglerWindow",
+    "HostFailure",
     "FaultSchedule",
     "RetryPolicy",
     "FaultIncident",
@@ -122,6 +127,24 @@ class StragglerWindow:
         return self.start <= t < self.end
 
 
+@dataclass(frozen=True)
+class HostFailure:
+    """Host dies permanently at ``time`` (fail-stop; it never recovers).
+
+    Unlike a :class:`FlapWindow` the outage has no end: every flow
+    through the host fails from ``time`` on, and the only way forward is
+    the elastic recovery runtime (substitute a spare host or shrink the
+    placement, then reshard checkpointed state onto the new layout).
+    """
+
+    host: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.time}")
+
+
 # ----------------------------------------------------------------------
 # Schedule
 # ----------------------------------------------------------------------
@@ -140,18 +163,37 @@ class FaultSchedule:
     flaps: tuple[FlapWindow, ...] = ()
     stragglers: tuple[StragglerWindow, ...] = ()
     drop_rate: float = 0.0
+    host_failures: tuple[HostFailure, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_rate < 1.0:
             raise ValueError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
 
+    # -- permanent failures --------------------------------------------
+    def host_dead(self, host: int, t: float) -> bool:
+        """True once ``host`` has permanently failed at or before ``t``."""
+        return any(f.host == host and t >= f.time for f in self.host_failures)
+
+    def failed_hosts(self, t: float) -> frozenset[int]:
+        """Hosts permanently dead at time ``t``."""
+        return frozenset(f.host for f in self.host_failures if t >= f.time)
+
+    def first_host_failure(self, after: float = 0.0) -> Optional[HostFailure]:
+        """Earliest permanent failure at or after ``after`` (None if clear)."""
+        upcoming = [f for f in self.host_failures if f.time >= after]
+        return min(upcoming, key=lambda f: (f.time, f.host), default=None)
+
     # -- NIC capacity --------------------------------------------------
     def host_down(self, host: int, t: float) -> bool:
-        """True while ``host``'s NIC is flapped down at time ``t``."""
-        return any(w.host == host and w.active(t) for w in self.flaps)
+        """True while ``host``'s NIC is flapped down — or dead — at ``t``."""
+        return self.host_dead(host, t) or any(
+            w.host == host and w.active(t) for w in self.flaps
+        )
 
     def host_down_during(self, host: int, start: float, end: float) -> bool:
-        """True if any flap of ``host`` overlaps the interval [start, end)."""
+        """True if ``host`` is flapped or dead anywhere in [start, end)."""
+        if any(f.host == host and f.time < end for f in self.host_failures):
+            return True
         return any(
             w.host == host and w.start < end and start < w.end for w in self.flaps
         )
@@ -176,7 +218,10 @@ class FaultSchedule:
         if horizon is None:
             horizon = self.horizon()
         if horizon <= 0.0:
-            return 1.0
+            # An already-dead host must stay maximally unattractive even
+            # over an empty averaging window (e.g. a schedule whose only
+            # fault is a failure at t=0, as replanning produces).
+            return 1e-6 if self.host_dead(host, 0.0) else 1.0
         cuts = sorted(
             {0.0, horizon}
             | {min(max(b, 0.0), horizon) for b in self.boundaries()}
@@ -196,12 +241,63 @@ class FaultSchedule:
         for w in self.flaps:
             pts.add(w.start)
             pts.add(w.end)
+        for f in self.host_failures:
+            pts.add(f.time)
         return tuple(sorted(pts))
 
     def horizon(self) -> float:
-        """End of the last fault window (0.0 for an all-clear schedule)."""
+        """End of the last fault window (0.0 for an all-clear schedule).
+
+        Permanent failures contribute their onset instant (they have no
+        end); the averaging in :meth:`mean_nic_factor` therefore counts a
+        dead host's capacity as zero from that instant on.
+        """
         ends = [w.end for w in self.degradations + self.flaps + self.stragglers]
+        ends += [f.time for f in self.host_failures]
         return max(ends, default=0.0)
+
+    # -- re-anchoring ---------------------------------------------------
+    def shifted(self, origin: float) -> "FaultSchedule":
+        """The schedule as seen from a run starting at time ``origin``.
+
+        Each simulated iteration starts its own event loop at t=0 while
+        the training run's wall clock keeps advancing; this re-anchors
+        every window to the new origin.  Windows fully in the past are
+        dropped, windows straddling the origin are clipped to their
+        remaining duration, and past permanent failures stay dead at
+        t=0.  ``seed`` and ``drop_rate`` are preserved.
+        """
+        if origin < 0:
+            raise ValueError(f"origin must be >= 0, got {origin}")
+        if origin == 0.0:
+            return self
+
+        def clip(windows, make):
+            out = []
+            for w in windows:
+                if w.end <= origin:
+                    continue
+                start = max(w.start - origin, 0.0)
+                out.append(make(w, start, w.end - origin - start))
+            return tuple(out)
+
+        return FaultSchedule(
+            seed=self.seed,
+            degradations=clip(
+                self.degradations,
+                lambda w, s, d: DegradedWindow(w.host, s, d, w.factor),
+            ),
+            flaps=clip(self.flaps, lambda w, s, d: FlapWindow(w.host, s, d)),
+            stragglers=clip(
+                self.stragglers,
+                lambda w, s, d: StragglerWindow(w.stage, s, d, w.slowdown),
+            ),
+            drop_rate=self.drop_rate,
+            host_failures=tuple(
+                HostFailure(f.host, max(f.time - origin, 0.0))
+                for f in self.host_failures
+            ),
+        )
 
     # -- per-attempt decisions -----------------------------------------
     def should_drop(self, *key) -> bool:
@@ -233,6 +329,7 @@ class FaultSchedule:
         n_stages: int = 0,
         min_factor: float = 0.2,
         max_window_frac: float = 0.25,
+        n_host_failures: int = 0,
     ) -> "FaultSchedule":
         """Build a randomized, replayable schedule for ``n_hosts`` hosts.
 
@@ -272,12 +369,22 @@ class FaultSchedule:
             )
             for _ in range(n_stragglers if n_stages > 0 else 0)
         )
+        failed: list[int] = []
+        failures = []
+        for _ in range(n_host_failures):
+            candidates = [h for h in range(n_hosts) if h not in failed]
+            if not candidates:
+                break
+            host = candidates[rng.randrange(len(candidates))]
+            failed.append(host)
+            failures.append(HostFailure(host=host, time=rng.uniform(0.0, horizon)))
         return cls(
             seed=seed,
             degradations=degradations,
             flaps=flaps,
             stragglers=stragglers,
             drop_rate=drop_rate,
+            host_failures=tuple(failures),
         )
 
 
@@ -345,6 +452,11 @@ class FaultReport:
     one transfer was abandoned / the run could not complete).
     ``added_latency`` estimates the simulated time lost to failed
     attempts and backoff waits.
+
+    Post-hoc status changes (e.g. the plan executor discovering that ops
+    never delivered) must go through :meth:`escalate`, never direct
+    field mutation, so ``escalations`` keeps an auditable record of who
+    demoted the report and from which prior status.
     """
 
     status: str
@@ -354,10 +466,24 @@ class FaultReport:
     added_latency: float = 0.0
     detail: str = ""
     incidents: list[FaultIncident] = field(default_factory=list)
+    escalations: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.status not in ("clean", "recovered", "fatal"):
             raise ValueError(f"unknown status {self.status!r}")
+
+    def escalate(self, detail: str) -> None:
+        """Escalate this report to ``fatal``, recording the provenance.
+
+        ``detail`` says what was discovered (appended to ``detail``);
+        the transition itself is logged in ``escalations`` as
+        ``"<old-status>->fatal: <detail>"``.
+        """
+        if not detail:
+            raise ValueError("an escalation must say why")
+        self.escalations.append(f"{self.status}->fatal: {detail}")
+        self.status = "fatal"
+        self.detail = f"{self.detail}; {detail}" if self.detail else detail
 
     @property
     def recovered(self) -> bool:

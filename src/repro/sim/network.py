@@ -35,7 +35,7 @@ so the healthy path is byte-identical to the fault-free simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .cluster import Cluster

@@ -19,7 +19,7 @@ that fires when the whole collective is done.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from .cluster import Cluster
 from .network import Network

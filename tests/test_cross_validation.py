@@ -1,7 +1,6 @@
 """Cross-validation: independent checkers must agree with each other."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

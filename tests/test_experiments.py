@@ -14,7 +14,7 @@ from repro.experiments.common import (
     format_markdown,
     make_microbench_meshes,
 )
-from repro.experiments.fig6 import TABLE2_CASES, case_latency
+from repro.experiments.fig6 import TABLE2_CASES
 from repro.sim.analysis import t_cross_host
 from repro.sim.cluster import GB, ClusterSpec
 
@@ -84,8 +84,6 @@ def test_fig5_shapes():
 # E2 / Table 2 + Fig. 6  (reduced tensor for speed)
 # ----------------------------------------------------------------------
 def small_latency(case, strategy, **kw):
-    import repro.experiments.fig6 as f6
-
     _c, src, dst = make_microbench_meshes(case.send_mesh, case.recv_mesh)
     from repro.core.api import reshard
 

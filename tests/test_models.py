@@ -4,7 +4,6 @@ import pytest
 
 from repro.models.costs import (
     DeviceModel,
-    V100,
     conv2d_flops_fwd,
     conv2d_params,
     ring_allreduce_time,

@@ -182,7 +182,7 @@ def test_broadcast_empty_receivers_noop():
 
 def test_broadcast_dedups_root_in_receivers():
     net = make_net()
-    h = ring_broadcast(net, 0, [0, 4], GB, n_chunks=4)
+    ring_broadcast(net, 0, [0, 4], GB, n_chunks=4)
     net.run()
     assert net.bytes_cross_host == pytest.approx(GB)
 
