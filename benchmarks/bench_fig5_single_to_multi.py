@@ -15,6 +15,44 @@ def test_regenerate_fig5(benchmark, results_dir):
     assert sr[3] > 3.5 * sr[0]
 
 
+def test_quick_plan_cache_smoke():
+    """Quick mode for the CI bench-smoke job: repeated Fig. 5
+    reshardings must hit the plan cache, and one representative
+    compile's per-pass timing lands in the job log."""
+    from repro.compiler import (
+        CompileContext,
+        compile_resharding,
+        default_plan_cache,
+        reset_default_plan_cache,
+    )
+    from repro.core.mesh import DeviceMesh
+    from repro.core.task import ReshardingTask
+    from repro.experiments.common import paper_cluster
+
+    reset_default_plan_cache()
+    for _ in range(3):
+        for strategy in fig5.STRATEGIES:
+            fig5.single_to_multi_latency(4, 2, strategy)
+    stats = default_plan_cache().stats()
+    print(f"\nplan cache after 3x Fig.5 sweep: {stats!r}")
+    assert stats.hit_rate > 0.0
+    assert stats.misses == len(fig5.STRATEGIES)  # one compile per strategy
+
+    cluster = paper_cluster(5)
+    task = ReshardingTask(
+        fig5.MESSAGE_SHAPE,
+        DeviceMesh(cluster, [[0]]),
+        "R",
+        DeviceMesh.from_hosts(cluster, range(1, 5), devices_per_host=2),
+        "R",
+    )
+    compiled = compile_resharding(
+        task, CompileContext(strategy="broadcast", cache=None)
+    )
+    print("per-pass compile timing (broadcast, 1 GB, 1 -> 4x2 GPUs):")
+    print(compiled.diagnostics.format_table())
+
+
 def test_bench_broadcast_1gb_4nodes(benchmark):
     benchmark.pedantic(
         fig5.single_to_multi_latency, args=(4, 2, "broadcast"),

@@ -22,6 +22,36 @@ def test_regenerate_fig7(benchmark, results_dir):
     assert rows[("U-Transformer", "ours")]["of Signal"] >= 0.97
 
 
+def test_quick_cache_reduction_and_identical_makespan():
+    """Quick mode for the CI bench-smoke job: a 2-stage GPT pipeline
+    with >= 8 micro-batches shows >= 50% compile-call reduction from
+    the plan cache, with zero change in the simulated makespan."""
+    from repro.compiler import default_plan_cache, reset_default_plan_cache
+    from repro.sim.cluster import Cluster, ClusterSpec
+
+    cluster = Cluster(ClusterSpec(n_hosts=2, devices_per_host=4))
+    config = GPTConfig(
+        name="GPT-quick", n_layers=4, hidden=1024, global_batch=32,
+        dp=2, op=2, pp=2,
+    )
+    spec = build_gpt(config, cluster=cluster)
+    assert len(spec.stage_meshes) == 2
+    assert spec.n_microbatches >= 8
+
+    reset_default_plan_cache()
+    cached = run_iteration(spec, "ours")
+    stats = default_plan_cache().stats()
+    uncached = run_iteration(spec, "ours", cache=None)
+
+    print(
+        f"\nplan cache over one '{spec.name}' iteration: {stats!r}\n"
+        f"compile-call reduction: {stats.compile_call_reduction:.1%} "
+        f"({stats.requests} requests, {stats.misses} compiles)"
+    )
+    assert cached.iteration_time == uncached.iteration_time
+    assert stats.compile_call_reduction >= 0.5
+
+
 @pytest.mark.parametrize("method", ["alpa", "ours", "signal"])
 def test_bench_gpt_iteration(benchmark, method):
     spec = build_gpt(GPTConfig())

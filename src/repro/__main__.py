@@ -32,8 +32,28 @@ def _parse_ints(text: str) -> tuple[int, ...]:
         raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
 
 
+def _dump_plan_state(pass_name: str, state) -> None:
+    """Print a compact rendering of the evolving plan after one pass."""
+    print(f"  -- after {pass_name} --")
+    if state.schedule is not None:
+        print(
+            f"     schedule[{state.schedule.algorithm}]: "
+            f"assignment={state.schedule.assignment}"
+        )
+    if state.plan is None:
+        print(f"     no ops yet; {len(state.unit_tasks)} unit task(s) lowered")
+        return
+    for op in state.plan.ops[:6]:
+        text = repr(op)
+        print("     " + (text if len(text) <= 110 else text[:107] + "..."))
+    if len(state.plan.ops) > 6:
+        print(f"     ... {len(state.plan.ops) - 6} more op(s)")
+
+
 def cmd_reshard(args: argparse.Namespace) -> int:
+    from .compiler import CompileContext, compile_resharding
     from .core.api import reshard
+    from .core.task import ReshardingTask
     from .experiments.common import fmt_bytes, fmt_seconds, make_microbench_meshes
     from .strategies import STRATEGIES
 
@@ -53,8 +73,29 @@ def cmd_reshard(args: argparse.Namespace) -> int:
         f"shape {args.shape} fp32"
     )
     for name in strategies:
+        if args.explain or args.dump_plan_after:
+            # Compile fresh (uncached) so the pass pipeline actually
+            # runs and its instrumentation reflects real work.
+            task = ReshardingTask(
+                args.shape, src, args.src_spec, dst, args.dst_spec,
+                dtype=np.float32,
+            )
+            compiled = compile_resharding(
+                task,
+                CompileContext(
+                    strategy=name,
+                    cache=None,
+                    dump_after=tuple(args.dump_plan_after or ()),
+                    on_dump=_dump_plan_state,
+                ),
+            )
+            if args.explain:
+                print(f"  [{name}] pass pipeline:")
+                for line in compiled.diagnostics.format_table().splitlines():
+                    print("    " + line)
+        cache_kwargs = {"cache": None} if args.no_cache else {}
         r = reshard(tensor_or_shape, src, args.src_spec, dst, args.dst_spec,
-                    strategy=name)
+                    strategy=name, **cache_kwargs)
         verified = ""
         if args.verify and r.dst_tensor is not None:
             ok = bool(np.array_equal(r.dst_tensor.to_global(), tensor_or_shape))
@@ -80,11 +121,24 @@ def cmd_e2e(args: argparse.Namespace) -> int:
     else:
         spec = build_utransformer(UTransformerConfig())
     print(f"{spec.name}: {spec.notes}; {spec.n_microbatches} micro-batches")
+    if args.cache_stats:
+        from .compiler import reset_default_plan_cache
+
+        reset_default_plan_cache()
     for method in args.method:
         r = run_iteration(spec, method)
         print(
             f"  {method:<10} iteration={r.iteration_time:8.2f}s  "
             f"throughput={r.throughput_tflops:7.2f} TFLOPS/GPU"
+        )
+    if args.cache_stats:
+        from .compiler import default_plan_cache
+
+        stats = default_plan_cache().stats()
+        print(
+            f"plan cache: {stats.requests} request(s), {stats.hits} hit(s) "
+            f"({stats.hit_rate:.1%}), {stats.misses} compile(s), "
+            f"epoch {stats.epoch}"
         )
     return 0
 
@@ -130,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("--verify", action="store_true",
                    help="move real data and check the destination layout")
+    r.add_argument("--explain", action="store_true",
+                   help="print per-pass wall time and op-count deltas")
+    r.add_argument(
+        "--dump-plan-after",
+        action="append",
+        choices=["lower", "select", "schedule", "fault_rewrite", "emit", "validate"],
+        help="dump the evolving plan after the named pass (repeatable)",
+    )
+    r.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed plan cache")
     r.set_defaults(fn=cmd_reshard)
 
     e = sub.add_parser("e2e", help="simulate one training iteration")
@@ -142,6 +206,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["send_recv", "alpa", "broadcast", "overlap", "ours",
                  "ours_delay", "signal"],
     )
+    e.add_argument("--cache-stats", action="store_true",
+                   help="reset the plan cache first and report hit/miss counts")
     e.set_defaults(fn=cmd_e2e)
 
     x = sub.add_parser("experiment", help="run one paper experiment")

@@ -1,0 +1,224 @@
+"""Content-addressed cache for compiled resharding plans.
+
+Every micro-batch, every auto-strategy scoring call, and every recovery
+replan resolves the *same* handful of reshardings; recompiling (and
+re-simulating) them from scratch each time is pure waste.  The cache
+keys a :class:`~repro.compiler.pipeline.CompiledPlan` by a canonical
+**content signature** of everything the compile pipeline's output
+depends on:
+
+* the tensor: shape and dtype;
+* the layouts: source/destination sharding specs and mesh device grids;
+* the topology: every :class:`~repro.sim.cluster.ClusterSpec` field
+  (bandwidths, latencies, per-host overrides, spares);
+* the strategy: its name plus every plan-shaping option
+  (:meth:`~repro.strategies.base.CommStrategy.cache_key`);
+* the fault scenario: a digest of the :class:`~repro.sim.faults
+  .FaultSchedule` and :class:`~repro.sim.faults.RetryPolicy`;
+* the cache **epoch** — a counter bumped by explicit invalidation on
+  fault events (e.g. a permanent :class:`~repro.sim.faults.HostFailure`
+  detected by the recovery runtime), so plans compiled for the
+  pre-failure world can never be served afterwards even if a caller
+  forgets to thread the updated fault schedule through.
+
+Two tasks on *different* :class:`~repro.sim.cluster.Cluster` objects
+with identical content hash identically — the cache is content-
+addressed, not identity-addressed.  A strategy without a cache key
+(custom subclasses) makes the compile uncacheable rather than wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.cluster import ClusterSpec
+from ..sim.faults import FaultSchedule, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.task import ReshardingTask
+    from .pipeline import CompiledPlan
+
+__all__ = [
+    "task_signature",
+    "plan_signature",
+    "CacheStats",
+    "PlanCache",
+    "default_plan_cache",
+    "reset_default_plan_cache",
+]
+
+
+def _cluster_key(spec: ClusterSpec) -> tuple:
+    return (
+        spec.n_hosts,
+        spec.devices_per_host,
+        spec.inter_host_bandwidth,
+        spec.intra_host_bandwidth,
+        spec.inter_host_latency,
+        spec.intra_host_latency,
+        tuple(sorted(spec.host_bandwidth_overrides)),
+        spec.n_spare_hosts,
+    )
+
+
+def _faults_key(faults: Optional[FaultSchedule]) -> str:
+    # FaultSchedule is a frozen dataclass of frozen dataclasses and
+    # numbers: its repr is canonical and deterministic.
+    return "none" if faults is None else repr(faults)
+
+
+def _retry_key(policy: Optional[RetryPolicy]) -> str:
+    return "none" if policy is None else repr(policy)
+
+
+def task_signature(task: "ReshardingTask") -> tuple:
+    """Canonical content key of one resharding task (no strategy/faults)."""
+    return (
+        task.shape,
+        task.dtype.str,
+        str(task.src_spec),
+        str(task.dst_spec),
+        task.src_mesh.grid,
+        task.dst_mesh.grid,
+        _cluster_key(task.cluster.spec),
+    )
+
+
+def plan_signature(
+    task: "ReshardingTask",
+    strategy_key: tuple,
+    faults: Optional[FaultSchedule] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    epoch: int = 0,
+) -> str:
+    """SHA-256 over the canonical signature of one compile request."""
+    h = hashlib.sha256()
+    h.update(
+        repr(
+            (
+                task_signature(task),
+                strategy_key,
+                _faults_key(faults),
+                _retry_key(retry_policy),
+                epoch,
+            )
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of one cache's counters."""
+
+    requests: int
+    hits: int
+    misses: int
+    size: int
+    epoch: int
+    n_invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def compile_call_reduction(self) -> float:
+        """Fraction of compile requests served without compiling."""
+        return self.hit_rate
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(requests={self.requests}, hits={self.hits}, "
+            f"misses={self.misses}, hit_rate={self.hit_rate:.1%}, "
+            f"size={self.size}, epoch={self.epoch})"
+        )
+
+
+class PlanCache:
+    """Content-addressed store of :class:`CompiledPlan` objects.
+
+    Entries are evicted FIFO beyond ``max_entries`` (compiles are cheap
+    enough that precision eviction is not worth the bookkeeping).
+    :meth:`invalidate` drops everything *and* bumps the epoch that is
+    folded into every signature — explicit invalidation on fault events.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: dict[str, "CompiledPlan"] = {}
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.n_invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def lookup(self, signature: str) -> "Optional[CompiledPlan]":
+        found = self._entries.get(signature)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def store(self, signature: str, compiled: "CompiledPlan") -> None:
+        if signature not in self._entries and len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[signature] = compiled
+
+    def invalidate(self, reason: str = "") -> None:
+        """Drop every entry and open a new epoch (fault-event hook)."""
+        self._entries.clear()
+        self.epoch += 1
+        self.n_invalidations += 1
+        self.last_invalidation_reason = reason
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            requests=self.requests,
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            epoch=self.epoch,
+            n_invalidations=self.n_invalidations,
+        )
+
+    def __repr__(self) -> str:
+        return f"PlanCache({self.stats()!r})"
+
+
+_DEFAULT_CACHE: Optional[PlanCache] = None
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache used when a context names no other."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = PlanCache()
+    return _DEFAULT_CACHE
+
+
+def reset_default_plan_cache() -> PlanCache:
+    """Replace the process-wide cache with a fresh one (tests, benches)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = PlanCache()
+    return _DEFAULT_CACHE

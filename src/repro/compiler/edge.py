@@ -1,0 +1,77 @@
+"""Compiled resharding attached to one pipeline stage edge.
+
+:func:`repro.models.parallel.resolve_comm_edges` compiles each stage
+boundary's forward/backward resharding through the plan compiler and
+hangs an :class:`EdgeResharding` on the :class:`~repro.pipeline.stage
+.CommEdge`.  The pipeline executor then prices every cross-stage message
+via :meth:`EdgeResharding.time` — one plan-cache request per message —
+so the per-micro-batch repetition of the same resharding is served from
+the content-addressed cache instead of recompiling, and the pipeline's
+comm latencies are, by construction, ``simulate_plan`` latencies of the
+compiled plans (one shared timing path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.task import ReshardingTask
+from .pipeline import CompileContext, CompiledPlan, compile_resharding
+
+__all__ = ["EdgeResharding"]
+
+
+class EdgeResharding:
+    """Both directions of one cross-mesh stage edge, compiled on demand.
+
+    When the strategy is cacheable every call goes through
+    :func:`compile_resharding` (registering a cache request; repeats are
+    hits).  Uncacheable strategies fall back to a per-edge memo so the
+    executor still never compiles the same direction twice.
+    """
+
+    def __init__(
+        self,
+        fwd_task: ReshardingTask,
+        bwd_task: ReshardingTask,
+        ctx: Optional[CompileContext] = None,
+    ) -> None:
+        self.fwd_task = fwd_task
+        self.bwd_task = bwd_task
+        self.ctx = ctx if ctx is not None else CompileContext()
+        self._memo: dict[str, CompiledPlan] = {}
+
+    def task(self, direction: str) -> ReshardingTask:
+        if direction == "fwd":
+            return self.fwd_task
+        if direction == "bwd":
+            return self.bwd_task
+        raise ValueError(f"direction must be 'fwd' or 'bwd', got {direction!r}")
+
+    def _cacheable(self) -> bool:
+        return (
+            self.ctx.resolved_cache() is not None
+            and self.ctx.resolved_strategy().cache_key() is not None
+        )
+
+    def compiled(self, direction: str) -> CompiledPlan:
+        task = self.task(direction)
+        if self._cacheable():
+            return compile_resharding(task, self.ctx)
+        found = self._memo.get(direction)
+        if found is None:
+            found = self._memo[direction] = compile_resharding(task, self.ctx)
+        return found
+
+    def plan(self, direction: str):
+        return self.compiled(direction).plan
+
+    def time(self, direction: str) -> float:
+        """Simulated resharding latency of one message in ``direction``."""
+        return self.compiled(direction).total_time
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeResharding(shape={self.fwd_task.shape}, "
+            f"{self.fwd_task.src_spec}->{self.fwd_task.dst_spec})"
+        )

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..strategies import CommStrategy, make_strategy
 from .data import apply_plan
-from .executor import TimingResult, simulate_plan
+from .executor import TimingResult
 from .mesh import DeviceMesh
 from .plan import CommPlan
 from .task import ReshardingTask
@@ -61,7 +61,12 @@ def plan_resharding(
     dtype=np.float32,
     **strategy_kwargs,
 ) -> CommPlan:
-    """Compile a resharding plan without executing it."""
+    """Compile a resharding plan without executing it.
+
+    Always compiles fresh (uncached) so the returned plan is the
+    caller's to mutate; :func:`reshard` goes through the shared plan
+    cache instead.
+    """
     task = ReshardingTask(shape, src_mesh, src_spec, dst_mesh, dst_spec, dtype=dtype)
     strat = make_strategy(strategy, **strategy_kwargs)
     return strat.plan(task)
@@ -85,7 +90,16 @@ def reshard(
     tuple for timing-only studies.  ``move_data`` forces/disables the
     data plane (defaults to "move when given an array and the strategy
     carries data").
+
+    Compiles through the staged plan compiler and the process-wide
+    content-addressed plan cache: repeating a resharding with identical
+    content (specs, meshes, topology, strategy, fault epoch) reuses the
+    compiled plan *and* its memoized timing.  Pass ``cache=None`` to
+    compile fresh, or another :class:`~repro.compiler.PlanCache`.
     """
+    from ..compiler.pipeline import USE_DEFAULT_CACHE, CompileContext, compile_resharding
+
+    cache = strategy_kwargs.pop("cache", USE_DEFAULT_CACHE)
     if isinstance(tensor_or_shape, np.ndarray):
         array: Optional[np.ndarray] = tensor_or_shape
         shape = array.shape
@@ -94,11 +108,13 @@ def reshard(
         array = None
         shape = tuple(tensor_or_shape)
 
-    plan = plan_resharding(
-        shape, src_mesh, src_spec, dst_mesh, dst_spec,
-        strategy=strategy, dtype=dtype, **strategy_kwargs,
+    task = ReshardingTask(shape, src_mesh, src_spec, dst_mesh, dst_spec, dtype=dtype)
+    ctx = CompileContext(
+        strategy=strategy, strategy_kwargs=strategy_kwargs, cache=cache
     )
-    timing = simulate_plan(plan)
+    compiled = compile_resharding(task, ctx)
+    plan = compiled.plan
+    timing = compiled.ensure_timing()
 
     dst_tensor = None
     do_move = (

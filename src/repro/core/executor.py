@@ -117,9 +117,7 @@ def simulate_plan(
     # For each unit task, `task_preds[tid]` is the set of earlier-ordered
     # tasks that share a host with it; it may start when all preds finish.
     schedule = plan.schedule if respect_schedule else None
-    task_ops: dict[int, list[CommOp]] = {}
-    for op in plan.ops:
-        task_ops.setdefault(op.unit_task_id, []).append(op)
+    task_ops: dict[int, list[CommOp]] = plan.ops_by_task()
     tasks_pending_ops = {tid: len(ops) for tid, ops in task_ops.items()}
 
     task_preds: dict[int, set[int]] = {tid: set() for tid in task_ops}

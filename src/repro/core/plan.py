@@ -119,6 +119,10 @@ class CommPlan:
     #: failure-aware deviations taken at plan time (e.g. re-rooted senders)
     fallbacks: list[FallbackRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._ops_index: Optional[dict[int, list[CommOp]]] = None
+        self._indexed: tuple[int, int] = (-1, -1)
+
     def add(self, op: CommOp) -> CommOp:
         if op.op_id != len(self.ops):
             raise ValueError(
@@ -134,8 +138,25 @@ class CommPlan:
     def next_op_id(self) -> int:
         return len(self.ops)
 
+    def ops_by_task(self) -> dict[int, list[CommOp]]:
+        """``unit_task_id -> ops`` index, built once per plan revision.
+
+        The index is rebuilt when the ops list was appended to (or
+        swapped out) since the last build; both interpreters walk every
+        unit task, so the old per-call linear scan made ``ops_of_task``
+        O(n·m) overall.
+        """
+        key = (len(self.ops), id(self.ops))
+        if self._ops_index is None or self._indexed != key:
+            index: dict[int, list[CommOp]] = {}
+            for op in self.ops:
+                index.setdefault(op.unit_task_id, []).append(op)
+            self._ops_index = index
+            self._indexed = key
+        return self._ops_index
+
     def ops_of_task(self, unit_task_id: int) -> list[CommOp]:
-        return [op for op in self.ops if op.unit_task_id == unit_task_id]
+        return list(self.ops_by_task().get(unit_task_id, ()))
 
     def total_bytes(self) -> float:
         """Sum of bytes injected by each op (broadcast counts once per hop

@@ -23,11 +23,11 @@ signal         signal      1F1B         yes      no
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
-from ..core.executor import simulate_plan
+from ..compiler import USE_DEFAULT_CACHE, CompileContext, EdgeResharding
 from ..core.mesh import DeviceMesh
 from ..core.task import ReshardingTask
 from ..pipeline.executor import PipelineResult, simulate_pipeline
@@ -113,14 +113,22 @@ def _np_dtype(name: str):
     return np.float16 if name == "fp16" else np.float32
 
 
-def resolve_comm_edges(spec: ParallelJobSpec, strategy_name: str) -> list[CommEdge]:
-    """Simulate each boundary resharding (both directions) once.
+def resolve_comm_edges(
+    spec: ParallelJobSpec,
+    strategy_name: str,
+    cache: Any = USE_DEFAULT_CACHE,
+) -> list[CommEdge]:
+    """Compile each boundary resharding (both directions) and attach it.
 
     Every micro-batch reshards the same tensor with the same layout, so
-    one simulation per (boundary, direction) gives the per-micro-batch
-    communication duration the pipeline executor needs.
+    the compiled plan and its simulated duration come from the shared
+    plan cache; the :class:`~repro.compiler.EdgeResharding` hung on each
+    edge lets the pipeline executor price every message through the same
+    cache + ``simulate_plan`` path.  ``cache=None`` compiles every edge
+    (and every executor message) uncached — benchmarks use it to prove
+    the cache changes compile counts, never results.
     """
-    strategy = make_strategy(strategy_name)
+    ctx = CompileContext(strategy=make_strategy(strategy_name), cache=cache)
     edges: list[CommEdge] = []
     for b in spec.boundaries:
         src_mesh = spec.stage_meshes[b.src_stage]
@@ -129,21 +137,21 @@ def resolve_comm_edges(spec: ParallelJobSpec, strategy_name: str) -> list[CommEd
             b.shape, src_mesh, b.src_spec, dst_mesh, b.dst_spec,
             dtype=_np_dtype(b.dtype),
         )
-        fwd_time = simulate_plan(strategy.plan(fwd_task)).total_time
         bwd_task = ReshardingTask(
             b.shape, dst_mesh, b.dst_spec, src_mesh, b.src_spec,
             dtype=_np_dtype(b.dtype),
         )
-        bwd_time = simulate_plan(strategy.plan(bwd_task)).total_time
+        resharding = EdgeResharding(fwd_task, bwd_task, ctx)
         edges.append(
             CommEdge(
                 src_stage=b.src_stage,
                 dst_stage=b.dst_stage,
-                fwd_time=fwd_time,
-                bwd_time=bwd_time,
+                fwd_time=resharding.time("fwd"),
+                bwd_time=resharding.time("bwd"),
                 fwd_bytes=b.nbytes(),
                 bwd_bytes=b.nbytes(),
                 label=b.label,
+                resharding=resharding,
             )
         )
     return edges
@@ -164,10 +172,11 @@ def run_iteration(
     spec: ParallelJobSpec,
     method: str,
     method_spec: Optional[MethodSpec] = None,
+    cache: Any = USE_DEFAULT_CACHE,
 ) -> E2EResult:
     """Simulate one training iteration of ``spec`` under a named method."""
     ms = method_spec if method_spec is not None else METHODS[method]
-    edges = resolve_comm_edges(spec, ms.strategy)
+    edges = resolve_comm_edges(spec, ms.strategy, cache=cache)
     job = PipelineJob(
         stages=spec.profiles, edges=edges, n_microbatches=spec.n_microbatches
     )

@@ -346,11 +346,14 @@ def simulate_pipeline(
         )
 
     def produced_edges(stage: int, t: Task):
+        # comm_time() is called once per produced message: edges backed
+        # by a compiled resharding price every micro-batch through the
+        # plan cache + simulate_plan (the shared timing path).
         if t.kind == "F":
-            return [(e, i, e.fwd_time, "fwd", e.dst_stage)
+            return [(e, i, e.comm_time("fwd"), "fwd", e.dst_stage)
                     for i, e in enumerate(job.edges) if e.src_stage == stage]
         if t.kind in ("B", "Bx"):
-            return [(e, i, e.bwd_time, "bwd", e.src_stage)
+            return [(e, i, e.comm_time("bwd"), "bwd", e.src_stage)
                     for i, e in enumerate(job.edges) if e.dst_stage == stage]
         return []
 
@@ -412,7 +415,7 @@ def simulate_pipeline(
             if sent_at is None:
                 return  # matching send has not started yet
             e = job.edges[item.edge_idx]
-            dur = e.fwd_time if item.direction == "fwd" else e.bwd_time
+            dur = e.comm_time(item.direction)
             end = max(loop.now, sent_at) + dur
             running[stage] = True
             start = loop.now

@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..compiler import CompileContext, compile_resharding
 from ..core.data import apply_plan
 from ..core.executor import TimingResult, simulate_plan
 from ..core.mesh import DeviceMesh
@@ -39,7 +40,6 @@ from ..core.verify_data import IntegrityError, IntegrityReport, verify_delivery
 from ..models.parallel import ParallelJobSpec
 from ..sim.cluster import Cluster
 from ..sim.faults import FaultSchedule, RetryPolicy
-from ..strategies import make_strategy
 from .checkpoint import Checkpoint
 
 __all__ = [
@@ -301,9 +301,21 @@ def replan(
             dtype=array.dtype,
             require_disjoint=False,
         )
-        strat = make_strategy(strategy, faults=faults_now)
-        plan = _trim_local_deliveries(strat.plan(task))
-        timing = simulate_plan(plan, faults=faults_now, retry_policy=retry_policy)
+        compiled = compile_resharding(
+            task,
+            CompileContext(
+                strategy=strategy,
+                strategy_kwargs={"faults": faults_now},
+                retry_policy=retry_policy,
+            ),
+        )
+        plan = _trim_local_deliveries(compiled.plan)
+        if plan is compiled.plan:
+            timing = compiled.ensure_timing()
+        else:
+            # Trimming rewrote the op list; the compiled plan's memoized
+            # timing no longer describes what will execute.
+            timing = simulate_plan(plan, faults=faults_now, retry_policy=retry_policy)
         src_tensor = DistributedTensor.from_global(
             _flat(src_mesh), STATE_SPEC, array
         )

@@ -32,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..compiler import default_plan_cache
 from ..models.parallel import METHODS, ParallelJobSpec, run_iteration
 from ..sim.faults import FaultSchedule, HostFailure, RetryPolicy
 from .checkpoint import CheckpointConfig, CheckpointStore
@@ -249,6 +250,12 @@ def simulate_training_run(
                     "no checkpoint to recover from (checkpointing disabled?)"
                 )
             wasted = max(strike.time - t, 0.0)
+            # The world changed: plans compiled for the pre-failure
+            # topology must never be served again.  Dropping the cache
+            # also bumps its epoch, which is folded into every signature.
+            default_plan_cache().invalidate(
+                reason=f"host {strike.host} failed at t={strike.time:.2f}s"
+            )
             plan = replan(
                 spec_cur,
                 store.latest,

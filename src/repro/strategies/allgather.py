@@ -28,9 +28,9 @@ from __future__ import annotations
 from ..core.plan import AllGatherOp, CommPlan, ScatterOp, SendOp
 from ..core.slices import region_size
 from ..core.task import ReshardingTask
-from ..scheduling import SCHEDULERS, SchedulingProblem
+from ..scheduling import SCHEDULERS
 from ..sim.primitives import ring_order
-from .base import CommStrategy, LoadTracker
+from .base import CommStrategy
 
 __all__ = ["AllGatherStrategy"]
 
@@ -53,11 +53,13 @@ class AllGatherStrategy(CommStrategy):
         self._scheduler = SCHEDULERS[scheduler]
         self.gate_on_schedule = gate_on_schedule
 
-    def plan(self, task: ReshardingTask) -> CommPlan:
-        plan = CommPlan(task=task, strategy=self.name, granularity=self.granularity)
-        problem = SchedulingProblem.from_resharding(task, granularity=self.granularity)
-        schedule = self._scheduler(problem)
-        load = LoadTracker(task.cluster)
+    def scheduler_fn(self):
+        return self._scheduler
+
+    def cache_key(self) -> tuple:
+        return (self.name, self.granularity, self.scheduler_name, self.gate_on_schedule)
+
+    def emit(self, task: ReshardingTask, plan: CommPlan, schedule, load) -> None:
         for ut in task.unit_tasks(self.granularity):
             if not ut.receivers:
                 continue
@@ -113,6 +115,3 @@ class AllGatherStrategy(CommStrategy):
                     devices=group,
                 )
             )
-        if self.gate_on_schedule:
-            plan.schedule = schedule
-        return plan

@@ -3,17 +3,25 @@
 Real systems tune communication choices ahead of time (the paper's
 library chooses broadcast because it is provably optimal for its
 setting; Alpa's compiler more generally picks per-case).  Since our
-simulator is cheap, the auto strategy simply compiles every candidate
-strategy, simulates each plan once, and returns the fastest — a small,
-honest autotuner that is also a useful regression oracle: broadcast
-should (almost) always win cross-mesh.
+simulator is cheap, the auto strategy compiles every candidate strategy,
+simulates each plan once, and returns the fastest — a small, honest
+autotuner that is also a useful regression oracle: broadcast should
+(almost) always win cross-mesh.
+
+The scoring loop itself lives in the compiler's select pass
+(:class:`repro.compiler.passes.SelectPass`); this class declares the
+candidate set and tuning scenario.  The winner's scored
+:class:`~repro.core.executor.TimingResult` is attached to the
+:class:`~repro.compiler.pipeline.CompiledPlan` (and exposed via
+:meth:`plan_scored`), so callers no longer re-simulate a plan that was
+already simulated to be chosen.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..core.executor import simulate_plan
+from ..core.executor import TimingResult
 from ..core.plan import CommPlan
 from ..core.task import ReshardingTask
 from ..sim.faults import FaultSchedule, RetryPolicy
@@ -50,25 +58,26 @@ class AutoStrategy(CommStrategy):
         #: (strategy name, simulated latency) pairs of the last plan() call
         self.last_scores: list[tuple[str, float]] = []
 
-    def plan(self, task: ReshardingTask) -> CommPlan:
-        """Compile every candidate, score by simulation, return the best.
+    def cache_key(self) -> Optional[tuple]:
+        keys = tuple(c.cache_key() for c in self.candidates)
+        if any(k is None for k in keys):
+            return None
+        return (self.name, repr(self.retry_policy)) + keys
 
-        With a fault schedule, scoring runs each candidate on a lossy
-        network so the pick accounts for retries and degraded links;
-        plans that go fatal under the scenario are only chosen when no
-        candidate survives.
+    def emit(self, task: ReshardingTask, plan: CommPlan, schedule, load) -> None:
+        raise RuntimeError(
+            "the auto strategy compiles through the select pass, not emit()"
+        )
+
+    def plan_scored(self, task: ReshardingTask) -> tuple[CommPlan, TimingResult]:
+        """Compile and return ``(winning plan, its scored TimingResult)``.
+
+        The timing is the simulation that *chose* the winner — callers
+        wanting both the plan and its latency use this instead of
+        ``simulate_plan(auto.plan(task))`` (which would simulate twice).
         """
-        best: Optional[tuple[bool, float, CommPlan]] = None
-        self.last_scores = []
-        for strat in self.candidates:
-            plan = strat.plan(task)
-            result = simulate_plan(
-                plan, faults=self.faults, retry_policy=self.retry_policy
-            )
-            fatal = result.fault_report is not None and result.fault_report.fatal
-            self.last_scores.append((strat.name, result.total_time))
-            key = (fatal, result.total_time, plan)
-            if best is None or key[:2] < best[:2]:
-                best = key
-        assert best is not None
-        return best[2]
+        from ..compiler.pipeline import CompileContext, compile_resharding
+
+        compiled = compile_resharding(task, CompileContext(strategy=self, cache=None))
+        assert compiled.timing is not None
+        return compiled.plan, compiled.timing

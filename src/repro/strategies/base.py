@@ -1,27 +1,103 @@
-"""Strategy interface: compile a resharding task into a CommPlan."""
+"""Strategy interface: emit communication ops for the plan compiler.
+
+A strategy no longer runs the whole show.  The staged compiler
+(:mod:`repro.compiler`) owns lowering, scheduling, fault re-rooting,
+and validation as explicit passes; a strategy contributes
+
+* a few **declarative knobs** the passes read (``granularity``,
+  ``scheduler_fn``, ``gate_on_schedule``, the ``*_uses_faults`` /
+  ``reroot_on_faults`` flags),
+* an :meth:`CommStrategy.emit` hook that appends concrete ops to the
+  plan following the schedule the compiler built, and
+* a canonical :meth:`CommStrategy.cache_key` so compiles through it can
+  be content-addressed (return ``None`` to opt out: the compile is then
+  simply uncacheable, never wrong).
+
+:meth:`CommStrategy.plan` is kept as the stable public API — it now
+delegates to :func:`repro.compiler.compile_resharding` with the cache
+disabled, so ``strategy.plan(task)`` behaves exactly as before (a fresh
+plan every call).  Subclasses implement :meth:`emit` (preferred) or
+override :meth:`plan` wholesale.
+"""
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from collections import defaultdict
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..core.plan import CommPlan
 from ..core.task import ReshardingTask
-from ..sim.faults import FaultSchedule
+from ..sim.faults import FaultSchedule, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scheduling import Schedule, SchedulingProblem
 
 __all__ = ["CommStrategy", "LoadTracker"]
 
 
 class CommStrategy(ABC):
-    """Compiles :class:`ReshardingTask` -> :class:`CommPlan`."""
+    """Compiles :class:`ReshardingTask` -> :class:`CommPlan` (via the
+    staged compiler)."""
 
     #: short identifier used in benchmarks and result tables
     name: str = "abstract"
+    #: unit-task decomposition the strategy emits against
+    granularity: str = "intersection"
+    #: fault schedule the strategy was configured with (may be None)
+    faults: Optional[FaultSchedule] = None
+    #: retry policy (auto strategy scoring); read by the compile context
+    retry_policy: Optional[RetryPolicy] = None
+    #: False when emitted plans do not carry the tensor (signal)
+    data_complete: bool = True
+    #: attach the schedule to the plan so the executor gates on it
+    gate_on_schedule: bool = False
+    #: emission's LoadTracker weights/filters senders by fault state
+    emit_uses_faults: bool = False
+    #: the scheduling problem discounts degraded NICs
+    schedule_uses_faults: bool = False
+    #: the fault_rewrite pass re-roots assignments off down hosts
+    reroot_on_faults: bool = False
 
-    @abstractmethod
+    def scheduler_fn(
+        self,
+    ) -> Optional[Callable[["SchedulingProblem"], "Schedule"]]:
+        """The scheduling algorithm, or None when the strategy does not
+        schedule (every unit task launches eagerly)."""
+        return None
+
+    def emit(
+        self,
+        task: ReshardingTask,
+        plan: CommPlan,
+        schedule: Optional["Schedule"],
+        load: "LoadTracker",
+    ) -> None:
+        """Append this strategy's ops to ``plan`` (the emit pass)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement emit() or override plan()"
+        )
+
+    def cache_key(self) -> Optional[tuple]:
+        """Canonical tuple of every plan-shaping option, or None.
+
+        ``None`` makes compiles through this strategy uncacheable —
+        the safe default for subclasses that have not declared their
+        configuration surface.
+        """
+        return None
+
     def plan(self, task: ReshardingTask) -> CommPlan:
-        """Produce the communication plan for one resharding task."""
+        """Produce the communication plan for one resharding task.
+
+        Public API preserved from the pre-compiler era: compiles through
+        the staged pass pipeline with caching disabled, so every call
+        yields a freshly compiled plan.
+        """
+        from ..compiler.pipeline import CompileContext, compile_resharding
+
+        ctx = CompileContext(strategy=self, cache=None)
+        return compile_resharding(task, ctx).plan
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

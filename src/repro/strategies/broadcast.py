@@ -10,17 +10,23 @@ Sender hosts and the launch order of the unit tasks come from a
 scheduling algorithm (§3.2); the default is the paper's ensemble of DFS
 with pruning and randomized greedy.  The schedule is attached to the
 plan so the executor can gate task launches per Eq. 3.
+
+Under a fault schedule, the compiler's ``fault_rewrite`` pass re-roots
+unit tasks whose assigned sender host is down onto a surviving replica
+host before emission (see :class:`repro.compiler.passes
+.FaultRewritePass`); emission then simply follows the (rewritten)
+schedule.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
-from ..core.plan import BroadcastOp, CommPlan, FallbackRecord
+from ..core.plan import BroadcastOp, CommPlan
 from ..core.task import ReshardingTask
 from ..scheduling import SCHEDULERS, Schedule, SchedulingProblem
 from ..sim.faults import FaultSchedule
-from .base import CommStrategy, LoadTracker
+from .base import CommStrategy
 
 __all__ = ["BroadcastStrategy", "adaptive_chunks", "TARGET_CHUNK_BYTES", "MAX_CHUNKS"]
 
@@ -46,6 +52,9 @@ def adaptive_chunks(
 
 class BroadcastStrategy(CommStrategy):
     name = "broadcast"
+    emit_uses_faults = True
+    schedule_uses_faults = True
+    reroot_on_faults = True
 
     def __init__(
         self,
@@ -72,23 +81,28 @@ class BroadcastStrategy(CommStrategy):
         self.n_chunks = None if n_chunks is None else int(n_chunks)
         self.gate_on_schedule = gate_on_schedule
 
-    def plan(self, task: ReshardingTask) -> CommPlan:
-        plan = CommPlan(task=task, strategy=self.name, granularity=self.granularity)
-        problem = SchedulingProblem.from_resharding(
-            task, granularity=self.granularity, faults=self.faults
+    def scheduler_fn(self):
+        return self._scheduler
+
+    def cache_key(self) -> Optional[tuple]:
+        if SCHEDULERS.get(self.scheduler_name) is not self._scheduler:
+            # A user-supplied scheduler callable has no canonical
+            # signature; make the compile uncacheable rather than wrong.
+            return None
+        return (
+            self.name,
+            self.granularity,
+            self.scheduler_name,
+            self.n_chunks,
+            self.gate_on_schedule,
+            repr(self.faults),
         )
-        schedule = self._scheduler(problem)
-        load = LoadTracker(task.cluster, faults=self.faults)
+
+    def emit(self, task: ReshardingTask, plan: CommPlan, schedule, load) -> None:
         for ut in task.unit_tasks(self.granularity):
             if not ut.receivers:
                 continue
             host = schedule.assignment[ut.task_id]
-            rerooted = self._reroot(task, ut, host, plan)
-            if rerooted != host:
-                # Keep the schedule consistent: Eq. 3 gating (and any
-                # later inspection) must see the host actually used.
-                schedule.assignment[ut.task_id] = rerooted
-                host = rerooted
             sender = load.pick_on_host(ut.senders, host, ut.nbytes)
             plan.add(
                 BroadcastOp(
@@ -105,41 +119,3 @@ class BroadcastStrategy(CommStrategy):
                     ),
                 )
             )
-        if self.gate_on_schedule:
-            plan.schedule = schedule
-        return plan
-
-    def _reroot(
-        self,
-        task: ReshardingTask,
-        ut,
-        host: int,
-        plan: CommPlan,
-    ) -> int:
-        """Re-root onto a surviving replica host if ``host`` is down.
-
-        The scheduler may assign a sender host whose NIC is flapped down
-        at plan time; rather than launching a doomed broadcast and
-        relying on retries, pick the surviving sender host with the best
-        effective bandwidth and record the fallback.  When *every*
-        replica host is down the original assignment is kept — the
-        runtime retry machinery is then the only hope.
-        """
-        if self.faults is None or not self.faults.host_down(host, 0.0):
-            return host
-        survivors = [
-            h for h in sorted(task.sender_hosts(ut))
-            if not self.faults.host_down(h, 0.0)
-        ]
-        if not survivors:
-            return host
-        best = max(survivors, key=lambda h: (self.faults.mean_nic_factor(h), -h))
-        plan.fallbacks.append(
-            FallbackRecord(
-                unit_task_id=ut.task_id,
-                from_host=host,
-                to_host=best,
-                reason="sender-host-down",
-            )
-        )
-        return best

@@ -15,13 +15,14 @@ from typing import Optional
 from ..core.plan import CommPlan, SendOp
 from ..core.task import ReshardingTask
 from ..sim.faults import FaultSchedule
-from .base import CommStrategy, LoadTracker
+from .base import CommStrategy
 
 __all__ = ["SendRecvStrategy"]
 
 
 class SendRecvStrategy(CommStrategy):
     name = "send_recv"
+    emit_uses_faults = True
 
     def __init__(
         self,
@@ -31,9 +32,10 @@ class SendRecvStrategy(CommStrategy):
         self.granularity = granularity
         self.faults = faults
 
-    def plan(self, task: ReshardingTask) -> CommPlan:
-        plan = CommPlan(task=task, strategy=self.name, granularity=self.granularity)
-        load = LoadTracker(task.cluster, faults=self.faults)
+    def cache_key(self) -> tuple:
+        return (self.name, self.granularity, repr(self.faults))
+
+    def emit(self, task: ReshardingTask, plan: CommPlan, schedule, load) -> None:
         for ut in task.unit_tasks(self.granularity):
             # Failure-aware: skip senders on hosts whose NIC is down at
             # plan time (degraded hosts are handled by the weighted
@@ -51,4 +53,3 @@ class SendRecvStrategy(CommStrategy):
                         receiver=receiver,
                     )
                 )
-        return plan

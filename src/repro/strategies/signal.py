@@ -18,17 +18,15 @@ __all__ = ["SignalStrategy"]
 
 class SignalStrategy(CommStrategy):
     name = "signal"
+    data_complete = False
 
     def __init__(self, granularity: str = "intersection") -> None:
         self.granularity = granularity
 
-    def plan(self, task: ReshardingTask) -> CommPlan:
-        plan = CommPlan(
-            task=task,
-            strategy=self.name,
-            data_complete=False,
-            granularity=self.granularity,
-        )
+    def cache_key(self) -> tuple:
+        return (self.name, self.granularity)
+
+    def emit(self, task: ReshardingTask, plan: CommPlan, schedule, load) -> None:
         for ut in task.unit_tasks(self.granularity):
             if not ut.receivers:
                 continue
@@ -44,4 +42,3 @@ class SignalStrategy(CommStrategy):
                         receiver=receiver,
                     )
                 )
-        return plan
