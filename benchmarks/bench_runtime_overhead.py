@@ -1,0 +1,324 @@
+"""Wall-time gate: the unified runtime kernel stays within 5% of the
+pre-refactor pipeline executor.
+
+``_legacy_simulate_pipeline`` below is a frozen, fault-free copy of the
+pipeline executor as it stood before the runtime-kernel refactor:
+timelines and comm entries accumulated in executor-private lists, stage
+occupancy in plain booleans, channels in a ``channel_free`` dict — no
+kernel resources, no telemetry spans.  Both executors run the same
+Fig.-7 workload (GPT case1 under the "ours" method) over the *same*
+resolved communication edges, so every message is priced through the
+same plan cache and any measured difference is pure kernel + telemetry
+overhead.
+
+``test_quick_runtime_overhead_gate`` is the CI bench-smoke entry: it
+first proves the two executors produce the identical schedule (same
+iteration time, timeline, comms, busy time, activation peaks), then
+gates the kernel path's best-of-N wall time at <= 1.05x the frozen
+baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Union
+
+import pytest
+
+from repro.models.gpt import GPT_CASES, build_gpt
+from repro.models.parallel import METHODS, resolve_comm_edges
+from repro.pipeline.executor import _validate_orders, simulate_pipeline
+from repro.pipeline.schedules import Task, schedule_job
+from repro.pipeline.stage import PipelineJob
+from repro.sim.events import EventLoop
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-refactor executor (fault-free paths only)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _TimelineEntry:
+    stage: int
+    kind: str
+    microbatch: int
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class _CommEntry:
+    src_stage: int
+    dst_stage: int
+    direction: str
+    microbatch: int
+    label: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class _Recv:
+    edge_idx: int
+    microbatch: int
+    direction: str
+
+    @property
+    def key(self) -> tuple[int, int, str]:
+        return (self.edge_idx, self.microbatch, self.direction)
+
+
+_Item = Union[Task, _Recv]
+
+
+def _insert_recvs(job: PipelineJob, orders: list[list[Task]]) -> list[list[_Item]]:
+    edge_idx = {id(e): i for i, e in enumerate(job.edges)}
+    out: list[list[_Item]] = []
+    for s, order in enumerate(orders):
+        items: list[_Item] = []
+        for t in order:
+            if t.kind == "F":
+                for e in sorted(job.in_edges(s), key=lambda e: edge_idx[id(e)]):
+                    items.append(_Recv(edge_idx[id(e)], t.microbatch, "fwd"))
+            elif t.kind in ("B", "Bx"):
+                for e in sorted(job.out_edges(s), key=lambda e: edge_idx[id(e)]):
+                    items.append(_Recv(edge_idx[id(e)], t.microbatch, "bwd"))
+            items.append(t)
+        out.append(items)
+    return out
+
+
+def _legacy_simulate_pipeline(
+    job: PipelineJob, orders: list[list[Task]], overlap: bool = True
+):
+    """The pre-refactor executor, verbatim minus fault injection."""
+    _validate_orders(job, orders)  # the pre-refactor executor ran this too
+    loop = EventLoop()
+    n_stages = job.n_stages
+    items: list[list[_Item]] = (
+        [list(o) for o in orders] if overlap else _insert_recvs(job, orders)
+    )
+    idx = [0] * n_stages
+    running = [False] * n_stages
+    stage_free_at = [0.0] * n_stages
+    timeline: list[_TimelineEntry] = []
+    comms: list[_CommEntry] = []
+    busy = dict.fromkeys(range(n_stages), 0.0)
+    arrived: dict[tuple[str, int, int], int] = {}
+    need_fwd = [len(job.in_edges(s)) for s in range(n_stages)]
+    need_bwd = [len(job.out_edges(s)) for s in range(n_stages)]
+    act_count = dict.fromkeys(range(n_stages), 0)
+    peak_act = dict.fromkeys(range(n_stages), 0)
+    channel_free: dict[tuple[int, int, str], float] = {}
+    send_started: dict[tuple[int, int, str], float] = {}
+
+    def deps_met(stage: int, t: Task) -> bool:
+        if t.kind == "F":
+            return arrived.get(("F", stage, t.microbatch), 0) >= need_fwd[stage]
+        if t.kind in ("B", "Bx"):
+            return arrived.get(("B", stage, t.microbatch), 0) >= need_bwd[stage]
+        return True
+
+    def duration(stage: int, t: Task) -> float:
+        prof = job.stages[stage]
+        if t.kind == "F":
+            return prof.fwd_time
+        if t.kind == "B":
+            return prof.bwd_x_time + prof.bwd_w_time
+        if t.kind == "Bx":
+            return prof.bwd_x_time
+        return prof.bwd_w_time
+
+    def arrival(kind: str, stage: int, mb: int) -> None:
+        key = (kind, stage, mb)
+        arrived[key] = arrived.get(key, 0) + 1
+        try_start(stage)
+
+    def send_message(e, dur: float, direction: str, target: int, mb: int,
+                     earliest: float) -> None:
+        key = (e.src_stage, e.dst_stage, direction)
+        cstart = max(earliest, channel_free.get(key, 0.0))
+        cend = cstart + dur
+        channel_free[key] = cend
+        comms.append(
+            _CommEntry(e.src_stage, e.dst_stage, direction, mb, e.label, cstart, cend)
+        )
+        dep_kind = "F" if direction == "fwd" else "B"
+        loop.call_at(cend, lambda: arrival(dep_kind, target, mb))
+
+    def produced_edges(stage: int, t: Task):
+        if t.kind == "F":
+            return [(e, i, e.comm_time("fwd"), "fwd", e.dst_stage)
+                    for i, e in enumerate(job.edges) if e.src_stage == stage]
+        if t.kind in ("B", "Bx"):
+            return [(e, i, e.comm_time("bwd"), "bwd", e.src_stage)
+                    for i, e in enumerate(job.edges) if e.dst_stage == stage]
+        return []
+
+    def on_compute_done(stage: int, t: Task, start: float) -> None:
+        finish = loop.now
+        timeline.append(_TimelineEntry(stage, t.kind, t.microbatch, start, finish))
+        busy[stage] += finish - start
+        if t.kind == "F":
+            act_count[stage] += 1
+            peak_act[stage] = max(peak_act[stage], act_count[stage])
+        elif t.kind in ("B", "Bw"):
+            act_count[stage] -= 1
+        running[stage] = False
+        idx[stage] += 1
+        if overlap:
+            for e, _i, dur, direction, target in produced_edges(stage, t):
+                send_message(e, dur, direction, target, t.microbatch, finish)
+            try_start(stage)
+        else:
+            block_until = finish
+            for _e, edge_i, dur, direction, target in produced_edges(stage, t):
+                send_started[(edge_i, t.microbatch, direction)] = block_until
+                block_until += dur
+                try_start(target)
+            if block_until > finish:
+                busy[stage] += block_until - finish
+                stage_free_at[stage] = block_until
+                loop.call_at(block_until, lambda s=stage: try_start(s))
+            else:
+                try_start(stage)
+
+    def on_recv_done(stage: int, r: _Recv, start: float) -> None:
+        e = job.edges[r.edge_idx]
+        end = loop.now
+        comms.append(
+            _CommEntry(e.src_stage, e.dst_stage, r.direction, r.microbatch, e.label,
+                       start, end)
+        )
+        busy[stage] += end - start
+        running[stage] = False
+        idx[stage] += 1
+        dep_kind = "F" if r.direction == "fwd" else "B"
+        arrival(dep_kind, stage, r.microbatch)
+        try_start(stage)
+
+    def try_start(stage: int) -> None:
+        if running[stage] or idx[stage] >= len(items[stage]):
+            return
+        if loop.now < stage_free_at[stage] - 1e-15:
+            return
+        item = items[stage][idx[stage]]
+        if isinstance(item, _Recv):
+            sent_at = send_started.get(item.key)
+            if sent_at is None:
+                return
+            e = job.edges[item.edge_idx]
+            dur = e.comm_time(item.direction)
+            end = max(loop.now, sent_at) + dur
+            running[stage] = True
+            start = loop.now
+            loop.call_at(end, lambda s=stage, r=item: on_recv_done(s, r, start))
+            return
+        if not deps_met(stage, item):
+            return
+        running[stage] = True
+        start = loop.now
+        loop.call_after(
+            duration(stage, item), lambda s=stage, t=item: on_compute_done(s, t, start)
+        )
+
+    for s in range(n_stages):
+        try_start(s)
+    loop.run()
+
+    if any(idx[s] < len(items[s]) for s in range(n_stages)):
+        raise RuntimeError("legacy pipeline deadlocked")
+    iteration_time = max(
+        [t.end for t in timeline] + [c.end for c in comms], default=0.0
+    )
+    return iteration_time, timeline, comms, busy, peak_act
+
+
+# ----------------------------------------------------------------------
+# The Fig.-7 workload: GPT case1 under "ours" (eager-1F1B + overlap)
+# ----------------------------------------------------------------------
+def _fig7_workload():
+    spec = build_gpt(GPT_CASES["GPT case1"])
+    ms = METHODS["ours"]
+    edges = resolve_comm_edges(spec, ms.strategy)
+    job = PipelineJob(
+        stages=spec.profiles, edges=edges, n_microbatches=spec.n_microbatches
+    )
+    orders = schedule_job(
+        ms.schedule,
+        n_stages=len(spec.profiles),
+        n_microbatches=spec.n_microbatches,
+        delay_bw_weight=ms.delay_bw_weight,
+    )
+    return job, orders, ms.overlap
+
+
+def _best_wall_times(fn_a, fn_b, repeats: int = 11) -> tuple[float, float]:
+    """Best-of-``repeats`` wall time for each function, rounds interleaved.
+
+    Interleaving A/B within each round means slow machine phases (cron,
+    GC, a noisy CI neighbour) hit both executors alike instead of
+    landing entirely on whichever happened to run second, and the
+    per-side minimum discards the noisy rounds entirely.
+    """
+    fn_a()  # warm plan cache + allocator before timing
+    fn_b()
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def test_quick_runtime_overhead_gate():
+    """Quick mode for the CI bench-smoke job: identical schedule, <5%
+    wall-time overhead from the kernel + telemetry path."""
+    job, orders, overlap = _fig7_workload()
+
+    it_legacy, timeline, comms, busy, peak = _legacy_simulate_pipeline(
+        job, orders, overlap=overlap
+    )
+    r = simulate_pipeline(job, orders, overlap=overlap)
+    assert r.iteration_time == it_legacy
+    assert [
+        (t.stage, t.kind, t.microbatch, t.start, t.end) for t in r.timeline
+    ] == [(t.stage, t.kind, t.microbatch, t.start, t.end) for t in timeline]
+    assert [
+        (c.src_stage, c.dst_stage, c.direction, c.microbatch, c.label,
+         c.start, c.end)
+        for c in r.comms
+    ] == [
+        (c.src_stage, c.dst_stage, c.direction, c.microbatch, c.label,
+         c.start, c.end)
+        for c in comms
+    ]
+    assert r.stage_busy_time == busy
+    assert r.peak_activation_counts == peak
+
+    t_legacy, t_kernel = _best_wall_times(
+        lambda: _legacy_simulate_pipeline(job, orders, overlap=overlap),
+        lambda: simulate_pipeline(job, orders, overlap=overlap),
+    )
+    overhead = t_kernel / t_legacy - 1.0
+    print(
+        f"\nruntime-kernel overhead on {job.n_stages}-stage x "
+        f"{job.n_microbatches}-microbatch Fig.7 workload: "
+        f"legacy {t_legacy * 1e3:.2f} ms, kernel {t_kernel * 1e3:.2f} ms "
+        f"({overhead:+.1%})"
+    )
+    assert t_kernel <= t_legacy * 1.05, (
+        f"kernel executor is {overhead:.1%} slower than the pre-refactor "
+        f"baseline (gate: +5%)"
+    )
+
+
+@pytest.mark.parametrize("executor", ["legacy", "kernel"])
+def test_bench_pipeline_executor(benchmark, executor):
+    job, orders, overlap = _fig7_workload()
+    fn = _legacy_simulate_pipeline if executor == "legacy" else simulate_pipeline
+    fn(job, orders, overlap)  # warm the plan cache outside the timed region
+    benchmark.pedantic(fn, args=(job, orders, overlap), rounds=3, iterations=1)

@@ -15,6 +15,9 @@ Examples::
 
     # regenerate every paper table/figure into EXPERIMENTS.md
     python -m repro report --output EXPERIMENTS.md
+
+    # replay the last reshard/e2e run's telemetry into a Chrome trace
+    python -m repro trace trace.json --filter flow
 """
 
 from __future__ import annotations
@@ -23,6 +26,36 @@ import argparse
 import sys
 
 import numpy as np
+
+
+def _export_trace(streams, path: str) -> None:
+    """Write labelled telemetry streams as Chrome trace JSON or JSONL."""
+    from .runtime.trace import (
+        chrome_trace_events,
+        records_to_jsonl_dicts,
+        write_chrome_trace_file,
+        write_jsonl,
+    )
+
+    if path.endswith(".jsonl"):
+        dicts: list[dict] = []
+        for run, bus in streams:
+            dicts.extend(records_to_jsonl_dicts(bus, run=run))
+        n = write_jsonl(dicts, path)
+        print(f"wrote {n} telemetry record(s) to {path}")
+    else:
+        events: list[dict] = []
+        for run, bus in streams:
+            events.extend(chrome_trace_events(bus, run=run))
+        write_chrome_trace_file(events, path)
+        print(f"wrote {len(events)} trace event(s) to {path}")
+
+
+def _persist_last_run(streams) -> None:
+    """Best-effort save for `python -m repro trace` replay."""
+    from .runtime.trace import save_last_run
+
+    save_last_run(streams)
 
 
 def _parse_ints(text: str) -> tuple[int, ...]:
@@ -72,6 +105,7 @@ def cmd_reshard(args: argparse.Namespace) -> int:
         f"reshard {args.src_spec}@{args.src_mesh} -> {args.dst_spec}@{args.dst_mesh}, "
         f"shape {args.shape} fp32"
     )
+    streams = []
     for name in strategies:
         if args.explain or args.dump_plan_after:
             # Compile fresh (uncached) so the pass pipeline actually
@@ -96,6 +130,7 @@ def cmd_reshard(args: argparse.Namespace) -> int:
         cache_kwargs = {"cache": None} if args.no_cache else {}
         r = reshard(tensor_or_shape, src, args.src_spec, dst, args.dst_spec,
                     strategy=name, **cache_kwargs)
+        streams.append((name, r.timing.telemetry))
         verified = ""
         if args.verify and r.dst_tensor is not None:
             ok = bool(np.array_equal(r.dst_tensor.to_global(), tensor_or_shape))
@@ -106,6 +141,9 @@ def cmd_reshard(args: argparse.Namespace) -> int:
             f"  {name:<10} latency={fmt_seconds(r.latency):>11}  "
             f"cross-host={fmt_bytes(r.cross_host_bytes):>11}{verified}"
         )
+    _persist_last_run(streams)
+    if args.trace_out:
+        _export_trace(streams, args.trace_out)
     return 0
 
 
@@ -125,12 +163,17 @@ def cmd_e2e(args: argparse.Namespace) -> int:
         from .compiler import reset_default_plan_cache
 
         reset_default_plan_cache()
+    streams = []
     for method in args.method:
         r = run_iteration(spec, method)
+        streams.append((method, r.pipeline.telemetry))
         print(
             f"  {method:<10} iteration={r.iteration_time:8.2f}s  "
             f"throughput={r.throughput_tflops:7.2f} TFLOPS/GPU"
         )
+    _persist_last_run(streams)
+    if args.trace_out:
+        _export_trace(streams, args.trace_out)
     if args.cache_stats:
         from .compiler import default_plan_cache
 
@@ -140,6 +183,54 @@ def cmd_e2e(args: argparse.Namespace) -> int:
             f"({stats.hit_rate:.1%}), {stats.misses} compile(s), "
             f"epoch {stats.epoch}"
         )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Replay the last run's telemetry into a Chrome trace (or JSONL)."""
+    from .runtime.trace import (
+        chrome_trace_events,
+        dicts_to_records,
+        last_run_path,
+        read_jsonl,
+        write_chrome_trace_file,
+        write_jsonl,
+    )
+
+    path = args.input if args.input else str(last_run_path())
+    try:
+        dicts = read_jsonl(path)
+    except FileNotFoundError:
+        print(
+            f"no saved run at {path}; run `python -m repro reshard`/`e2e` first",
+            file=sys.stderr,
+        )
+        return 2
+    if args.filter == "span":
+        dicts = [d for d in dicts if d.get("type") == "span"]
+    elif args.filter == "counter":
+        dicts = [d for d in dicts if d.get("type") == "counter"]
+    elif args.filter == "flow":
+        dicts = [
+            d for d in dicts if d.get("type") == "span" and d.get("cat") == "flow"
+        ]
+    if args.out.endswith(".jsonl"):
+        n = write_jsonl(dicts, args.out)
+        print(f"wrote {n} telemetry record(s) to {args.out}")
+        return 0
+    runs: list[str] = []
+    for d in dicts:
+        run = str(d.get("run", ""))
+        if run not in runs:
+            runs.append(run)
+    events: list[dict] = []
+    for run in runs:
+        recs = dicts_to_records(
+            d for d in dicts if str(d.get("run", "")) == run
+        )
+        events.extend(chrome_trace_events(recs, run=run))
+    write_chrome_trace_file(events, args.out)
+    print(f"wrote {len(events)} trace event(s) to {args.out}")
     return 0
 
 
@@ -194,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed plan cache")
+    r.add_argument("--trace-out", metavar="PATH",
+                   help="dump the run's telemetry (Chrome trace .json or .jsonl)")
     r.set_defaults(fn=cmd_reshard)
 
     e = sub.add_parser("e2e", help="simulate one training iteration")
@@ -208,11 +301,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     e.add_argument("--cache-stats", action="store_true",
                    help="reset the plan cache first and report hit/miss counts")
+    e.add_argument("--trace-out", metavar="PATH",
+                   help="dump the run's telemetry (Chrome trace .json or .jsonl)")
     e.set_defaults(fn=cmd_e2e)
 
     x = sub.add_parser("experiment", help="run one paper experiment")
     x.add_argument("id", choices=["E1", "E2", "E3", "E4", "E5", "E6", "E7", "A0"])
     x.set_defaults(fn=cmd_experiment)
+
+    t = sub.add_parser("trace", help="replay the last run's telemetry")
+    t.add_argument("out", help="output path (.json Chrome trace or .jsonl)")
+    t.add_argument("--filter", choices=["span", "counter", "flow"],
+                   help="keep only spans, counter samples, or network flow spans")
+    t.add_argument("--input", metavar="PATH",
+                   help="read this JSONL instead of the saved last run")
+    t.set_defaults(fn=cmd_trace)
 
     rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     rep.add_argument("--output", default="EXPERIMENTS.md")

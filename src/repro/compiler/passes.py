@@ -188,6 +188,16 @@ class SelectPass:
         state.plan = winner.plan
         state.timing = winner.timing
         strategy.last_scores = list(state.scores)
+        # Record the scoring decision on the winner's telemetry stream,
+        # so a trace of the kept timing also explains *why* this plan:
+        # one mark per candidate plus the verdict.
+        if winner.timing is not None:
+            bus = winner.timing.telemetry
+            for name, latency in state.scores:
+                bus.mark("select.candidate", track="compiler",
+                         strategy=name, latency=latency)
+            bus.mark("select.winner", track="compiler",
+                     strategy=winner.strategy.name, latency=best[1])
         return "scored " + ", ".join(f"{n}={t:.4g}s" for n, t in state.scores)
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..runtime.telemetry import TelemetryBus
 from ..sim.faults import FaultReport, FaultSchedule, RetryPolicy
 from ..sim.network import Network
 from ..sim.primitives import (
@@ -59,6 +60,11 @@ class TimingResult:
     def completed(self) -> bool:
         """True when every op delivered its payload."""
         return not self.failed_ops
+
+    @property
+    def telemetry(self) -> "TelemetryBus":
+        """The run's span stream (op/task/flow records) on the network's bus."""
+        return self.network.bus
 
 
 def _launch_op(network: Network, op: CommOp) -> CollectiveHandle:
@@ -107,11 +113,15 @@ def simulate_plan(
     base_cross = net.bytes_cross_host
     base_intra = net.bytes_intra_host
 
+    bus = net.bus
+
     op_finish: dict[int, float] = {}
     task_finish: dict[int, float] = {}
     op_done: set[int] = set()
     launched: set[int] = set()
     failed_ops: set[int] = set()
+    op_launch: dict[int, float] = {}
+    task_release: dict[int, float] = {}
 
     # ---- schedule gating -------------------------------------------------
     # For each unit task, `task_preds[tid]` is the set of earlier-ordered
@@ -153,10 +163,29 @@ def simulate_plan(
         if handle.failed:
             failed_ops.add(op.op_id)
         tid = op.unit_task_id
+        bus.emit_span(
+            f"op{op.op_id}",
+            cat="op",
+            track="plan" if tid == -1 else f"task:{tid}",
+            start=op_launch.get(op.op_id, handle.finish_time),
+            end=handle.finish_time,
+            op_id=op.op_id,
+            task=tid,
+            kind=type(op).__name__,
+            status="failed" if handle.failed else "ok",
+        )
         if tid in tasks_pending_ops:
             tasks_pending_ops[tid] -= 1
             if tasks_pending_ops[tid] == 0:
                 task_finish[tid] = handle.finish_time
+                bus.emit_span(
+                    f"task{tid}",
+                    cat="task",
+                    track=f"task:{tid}",
+                    start=task_release.get(tid, 0.0),
+                    end=handle.finish_time,
+                    task=tid,
+                )
                 for succ in task_succs.get(tid, ()):
                     maybe_release(succ)
         # Same-task ops with deps may now be ready.
@@ -166,6 +195,7 @@ def simulate_plan(
 
     def launch(op: CommOp) -> None:
         launched.add(op.op_id)
+        op_launch[op.op_id] = net.loop.now
         if isinstance(op, BroadcastOp) and not op.receivers:
             on_op_done(op, _immediate(net))
             return
@@ -177,6 +207,7 @@ def simulate_plan(
             return
         if all(p in task_finish for p in task_preds.get(tid, ())):
             released.add(tid)
+            task_release[tid] = net.loop.now
             for op in task_ops.get(tid, ()):
                 if op_ready(op):
                     launch(op)
@@ -185,6 +216,7 @@ def simulate_plan(
     for tid in list(task_ops):
         if tid == -1:
             released.add(tid)
+            task_release[tid] = net.loop.now
             for op in task_ops[tid]:
                 if op_ready(op):
                     launch(op)

@@ -1,6 +1,6 @@
 """Pipeline-parallel schedules and execution (paper §4)."""
 
-from .executor import CommEntry, PipelineResult, TimelineEntry, simulate_pipeline
+from .executor import PipelineResult, simulate_pipeline
 from .interleaved import (
     ChunkTask,
     InterleavedJob,
@@ -26,6 +26,7 @@ from .schedules import (
     stage_order,
 )
 from .stage import CommEdge, PipelineJob, StageProfile
+from .timeline import CommEntry, TimelineEntry, comms_from_spans, timeline_from_spans
 
 __all__ = [
     "StageProfile",
@@ -44,6 +45,8 @@ __all__ = [
     "PipelineResult",
     "TimelineEntry",
     "CommEntry",
+    "timeline_from_spans",
+    "comms_from_spans",
     "analytic_peak_inflight",
     "eager_memory_increase",
     "memory_report",

@@ -8,6 +8,15 @@ additionally waits for its cross-mesh inputs:
 * ``B``/``Bx``\\ ``(s, mb)`` waits for the activation gradient of every
   out-edge, sent when the downstream ``B``/``Bx`` finished.
 
+The executor runs on the shared runtime kernel
+(:class:`~repro.runtime.kernel.Kernel`): stage occupancy is a kernel
+resource token, cross-stage FIFO channels are kernel serial channels,
+and every compute/transfer interval is emitted to the kernel's
+telemetry bus.  The result object keeps **no private timeline lists** —
+``timeline``/``comms`` are views rebuilt from the span stream, and the
+scalar statistics (iteration time, busy time, activation peaks) are
+folded from the same records.
+
 Communication is simulated in one of two modes:
 
 ``overlap=False`` ("Broadcast" in Fig. 9)
@@ -26,9 +35,10 @@ Communication is simulated in one of two modes:
     transfers run on a FIFO channel per directed stage pair, concurrently
     with compute; only data dependencies remain.
 
-Activation memory is tracked per stage (+1 at each ``F``, −1 when the
-micro-batch's backward — ``B`` or delayed ``Bw`` — completes) so the
-schedules' peak-memory trade-off (§4, Table 1) is measurable.
+Activation memory is tracked per stage as a telemetry gauge (+1 at each
+``F``, −1 when the micro-batch's backward — ``B`` or delayed ``Bw`` —
+completes) so the schedules' peak-memory trade-off (§4, Table 1) is
+measurable.
 
 **Fault tolerance** (optional, ``overlap=True``): given a
 :class:`~repro.sim.faults.FaultSchedule`, cross-stage messages can be
@@ -47,32 +57,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
-from ..sim.events import EventLoop
+from ..runtime.kernel import Kernel
+from ..runtime.telemetry import TelemetryBus
 from ..sim.faults import FaultIncident, FaultReport, FaultSchedule, RetryPolicy
 from .schedules import Task
 from .stage import PipelineJob
+from .timeline import CommEntry, TimelineEntry, comms_from_spans, timeline_from_spans
 
 __all__ = ["TimelineEntry", "CommEntry", "PipelineResult", "simulate_pipeline"]
-
-
-@dataclass(frozen=True)
-class TimelineEntry:
-    stage: int
-    kind: str
-    microbatch: int
-    start: float
-    end: float
-
-
-@dataclass(frozen=True)
-class CommEntry:
-    src_stage: int
-    dst_stage: int
-    direction: str  # "fwd" | "bwd"
-    microbatch: int
-    label: str
-    start: float
-    end: float
 
 
 @dataclass(frozen=True)
@@ -98,18 +90,64 @@ _Item = Union[Task, _Recv]
 class PipelineResult:
     """Outcome of simulating one training iteration.
 
-    ``fault_report`` is ``None`` for fault-free runs; under fault
-    injection it records whether the iteration recovered from every
-    injected fault or ended fatally (some stages never finished).
+    ``timeline`` and ``comms`` are derived views over the run's
+    telemetry spans (``cat="compute"`` / ``cat="comm"``), not stored
+    lists.  ``fault_report`` is ``None`` for fault-free runs; under
+    fault injection it records whether the iteration recovered from
+    every injected fault or ended fatally (some stages never finished).
     """
 
-    iteration_time: float
-    timeline: list[TimelineEntry]
-    comms: list[CommEntry]
-    peak_activation_counts: dict[int, int]
-    stage_busy_time: dict[int, float]
+    telemetry: TelemetryBus = field(repr=False, compare=False)
     job: PipelineJob = field(repr=False)
     fault_report: Optional[FaultReport] = None
+    _timeline_cache: Optional[tuple[int, list[TimelineEntry]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _comms_cache: Optional[tuple[int, list[CommEntry]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _stats_cache: Optional[tuple[float, dict[int, float], dict[int, int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _stats(self) -> tuple[float, dict[int, float], dict[int, int]]:
+        # One fold over the span stream, on first access — keeping it
+        # out of simulate_pipeline itself so the per-event path stays
+        # within the bench_runtime_overhead wall-time gate.
+        if self._stats_cache is None:
+            self._stats_cache = _fold_stats(self.telemetry, self.job.n_stages)
+        return self._stats_cache
+
+    @property
+    def iteration_time(self) -> float:
+        """Makespan: latest compute/comm span end in the stream."""
+        return self._stats()[0]
+
+    @property
+    def stage_busy_time(self) -> dict[int, float]:
+        """Seconds each stage spent computing (plus blocking sends)."""
+        return self._stats()[1]
+
+    @property
+    def peak_activation_counts(self) -> dict[int, int]:
+        """Peak live activations per stage, from the gauge samples."""
+        return self._stats()[2]
+
+    @property
+    def timeline(self) -> list[TimelineEntry]:
+        """Compute intervals, rebuilt from the telemetry span stream."""
+        spans = self.telemetry.spans
+        if self._timeline_cache is None or self._timeline_cache[0] != len(spans):
+            self._timeline_cache = (len(spans), timeline_from_spans(spans))
+        return self._timeline_cache[1]
+
+    @property
+    def comms(self) -> list[CommEntry]:
+        """Transfer intervals, rebuilt from the telemetry span stream."""
+        spans = self.telemetry.spans
+        if self._comms_cache is None or self._comms_cache[0] != len(spans):
+            self._comms_cache = (len(spans), comms_from_spans(spans))
+        return self._comms_cache[1]
 
     def peak_memory_bytes(self, stage: int) -> float:
         """Weights/optimizer plus peak live activations of a stage."""
@@ -181,6 +219,37 @@ def _insert_recvs(job: PipelineJob, orders: list[list[Task]]) -> list[list[_Item
     return out
 
 
+def _fold_stats(
+    bus: TelemetryBus, n_stages: int
+) -> tuple[float, dict[int, float], dict[int, int]]:
+    """Fold iteration time, per-stage busy time and activation peaks
+    out of the telemetry stream (the single source of truth)."""
+    iteration_time = 0.0
+    busy = dict.fromkeys(range(n_stages), 0.0)
+    peak = dict.fromkeys(range(n_stages), 0)
+    # Folded over the raw span rows (name, cat, track, start, end,
+    # depth, parent, attrs) — this runs once per simulation, right
+    # after the event loop drains, so it stays off the per-event path.
+    for _name, cat, _track, start, end, _depth, _parent, a in bus.span_rows:
+        if cat == "compute":
+            if end > iteration_time:
+                iteration_time = end
+            busy[a["stage"]] += end - start
+        elif cat == "comm":
+            if end > iteration_time:
+                iteration_time = end
+            if "busy_stage" in a:  # blocking-mode recv occupies its stage
+                busy[a["busy_stage"]] += end - start
+        elif cat == "send":
+            busy[a["stage"]] += end - start
+    for name, track, _time, value in bus.counter_rows:
+        if name == "activations" and track.startswith("stage:"):
+            stage = int(track[6:])
+            if value > peak[stage]:
+                peak[stage] = int(value)
+    return iteration_time, busy, peak
+
+
 def simulate_pipeline(
     job: PipelineJob,
     orders: list[list[Task]],
@@ -208,7 +277,8 @@ def simulate_pipeline(
             "no channel to re-send on); stragglers work in both modes"
         )
     policy = retry_policy or RetryPolicy()
-    loop = EventLoop()
+    loop = Kernel()
+    bus = loop.bus
     n_stages = job.n_stages
 
     # -- fault bookkeeping --------------------------------------------
@@ -224,22 +294,19 @@ def simulate_pipeline(
     )
 
     idx = [0] * n_stages
-    running = [False] * n_stages
+    stage_track = [f"stage:{s}" for s in range(n_stages)]
+    stage_res = [loop.resource(stage_track[s]) for s in range(n_stages)]
     stage_free_at = [0.0] * n_stages  # > now while blocked in sends
-    timeline: list[TimelineEntry] = []
-    comms: list[CommEntry] = []
-    busy = dict.fromkeys(range(n_stages), 0.0)
+    act = [bus.gauge("activations", track=stage_track[s]) for s in range(n_stages)]
+    # per-(src, dst, direction) channel + span-track cache: send_message
+    # sits on the hot path, so the f-string/registry lookup happens once
+    chan_cache: dict[tuple[int, int, str], tuple] = {}
 
     # Dependency arrival counters: ("F"|"B", stage, microbatch) -> count.
     arrived: dict[tuple[str, int, int], int] = {}
     need_fwd = [len(job.in_edges(s)) for s in range(n_stages)]
     need_bwd = [len(job.out_edges(s)) for s in range(n_stages)]
 
-    act_count = dict.fromkeys(range(n_stages), 0)
-    peak_act = dict.fromkeys(range(n_stages), 0)
-
-    # Overlap mode: FIFO channel per (src, dst, direction).
-    channel_free: dict[tuple[int, int, str], float] = {}
     # Blocking mode: when each transfer's data hits the wire.
     send_started: dict[tuple[int, int, str], float] = {}
 
@@ -306,13 +373,20 @@ def simulate_pipeline(
         after the policy's backoff; the retry re-occupies the channel.
         """
         nonlocal n_msg_retries, n_msg_abandoned, added_latency
-        key = (e.src_stage, e.dst_stage, direction)
-        cstart = max(earliest, channel_free.get(key, 0.0))
+        ckey = (e.src_stage, e.dst_stage, direction)
+        cached = chan_cache.get(ckey)
+        if cached is None:
+            cname = f"{e.src_stage}->{e.dst_stage}:{direction}"
+            cached = (loop.channel(cname), "chan:" + cname)
+            chan_cache[ckey] = cached
+        chan, ctrack = cached
+        cstart = chan.reserve(earliest, dur)
         cend = cstart + dur
-        channel_free[key] = cend
         label = e.label if attempt == 1 else f"{e.label}~retry{attempt - 1}"
-        comms.append(
-            CommEntry(e.src_stage, e.dst_stage, direction, mb, label, cstart, cend)
+        bus.span(
+            label, "comm", ctrack, cstart, cend,
+            {"src_stage": e.src_stage, "dst_stage": e.dst_stage,
+             "direction": direction, "microbatch": mb, "label": label},
         )
         mkey = (edge_i, mb, direction)
         if attempt == 1:
@@ -359,14 +433,15 @@ def simulate_pipeline(
 
     def on_compute_done(stage: int, t: Task, start: float) -> None:
         finish = loop.now
-        timeline.append(TimelineEntry(stage, t.kind, t.microbatch, start, finish))
-        busy[stage] += finish - start
+        bus.span(
+            f"{t.kind}{t.microbatch}", "compute", stage_track[stage], start, finish,
+            {"stage": stage, "kind": t.kind, "microbatch": t.microbatch},
+        )
         if t.kind == "F":
-            act_count[stage] += 1
-            peak_act[stage] = max(peak_act[stage], act_count[stage])
+            act[stage].add(1)
         elif t.kind in ("B", "Bw"):
-            act_count[stage] -= 1
-        running[stage] = False
+            act[stage].add(-1)
+        stage_res[stage].release()
         idx[stage] += 1
         if overlap:
             for e, i, dur, direction, target in produced_edges(stage, t):
@@ -382,7 +457,10 @@ def simulate_pipeline(
                 block_until += dur
                 try_start(target)  # its recv may now be startable
             if block_until > finish:
-                busy[stage] += block_until - finish
+                bus.span(
+                    f"send:{t.kind}{t.microbatch}", "send", stage_track[stage],
+                    finish, block_until, {"stage": stage},
+                )
                 stage_free_at[stage] = block_until
                 loop.call_at(block_until, lambda s=stage: try_start(s))
             else:
@@ -391,21 +469,21 @@ def simulate_pipeline(
     def on_recv_done(stage: int, r: _Recv, start: float) -> None:
         e = job.edges[r.edge_idx]
         end = loop.now
-        comms.append(
-            CommEntry(
-                e.src_stage, e.dst_stage, r.direction, r.microbatch, e.label,
-                start, end,
-            )
+        bus.span(
+            e.label, "comm", f"chan:{e.src_stage}->{e.dst_stage}:{r.direction}",
+            start, end,
+            {"src_stage": e.src_stage, "dst_stage": e.dst_stage,
+             "direction": r.direction, "microbatch": r.microbatch,
+             "label": e.label, "busy_stage": stage},
         )
-        busy[stage] += end - start
-        running[stage] = False
+        stage_res[stage].release()
         idx[stage] += 1
         dep_kind = "F" if r.direction == "fwd" else "B"
         arrival(dep_kind, stage, r.microbatch)  # calls try_start(stage)
         try_start(stage)
 
     def try_start(stage: int) -> None:
-        if running[stage] or idx[stage] >= len(items[stage]):
+        if stage_res[stage].available == 0 or idx[stage] >= len(items[stage]):
             return
         if loop.now < stage_free_at[stage] - 1e-15:
             return  # still blocked sending; wake-up event queued
@@ -417,13 +495,13 @@ def simulate_pipeline(
             e = job.edges[item.edge_idx]
             dur = e.comm_time(item.direction)
             end = max(loop.now, sent_at) + dur
-            running[stage] = True
+            stage_res[stage].try_acquire()
             start = loop.now
             loop.call_at(end, lambda s=stage, r=item: on_recv_done(s, r, start))
             return
         if not deps_met(stage, item):
             return
-        running[stage] = True
+        stage_res[stage].try_acquire()
         start = loop.now
         loop.call_after(
             duration(stage, item), lambda s=stage, t=item: on_compute_done(s, t, start)
@@ -458,15 +536,4 @@ def simulate_pipeline(
             detail=f"stages stuck at tasks {stuck}" if stuck else "",
             incidents=incidents,
         )
-    iteration_time = max(
-        [e.end for e in timeline] + [c.end for c in comms], default=0.0
-    )
-    return PipelineResult(
-        iteration_time=iteration_time,
-        timeline=timeline,
-        comms=comms,
-        peak_activation_counts=peak_act,
-        stage_busy_time=busy,
-        job=job,
-        fault_report=report,
-    )
+    return PipelineResult(telemetry=bus, job=job, fault_report=report)

@@ -11,16 +11,25 @@ more there is for broadcast + overlap to hide.
 The schedule follows Megatron-LM's interleaved 1F1B: warm-up depth
 ``(p - rank - 1) * 2 + (v - 1) * p`` forward steps, then one-forward-
 one-backward, with micro-batches processed in groups of ``p``.
-Communication is always overlapped (channel per directed stage pair);
-the blocking mode of the plain executor is deliberately not offered —
-interleaving exists to create overlap opportunities.
+Communication is always overlapped (kernel serial channel per directed
+stage pair); the blocking mode of the plain executor is deliberately
+not offered — interleaving exists to create overlap opportunities.
+
+Like the plain executor, this one runs on the shared runtime kernel
+and reports through its telemetry bus; ``InterleavedResult.timeline``
+is a view over the emitted ``cat="compute"`` spans (now
+:class:`~repro.pipeline.timeline.TimelineEntry` records with a
+``chunk`` field, not bare tuples).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-from ..sim.events import EventLoop
+from ..runtime.kernel import Kernel
+from ..runtime.telemetry import TelemetryBus
+from .timeline import TimelineEntry, timeline_from_spans
 
 __all__ = [
     "ChunkTask",
@@ -115,16 +124,29 @@ def interleaved_order(job: InterleavedJob, rank: int) -> list[ChunkTask]:
 
 @dataclass
 class InterleavedResult:
+    """Outcome of one interleaved iteration (timeline derived from spans)."""
+
     iteration_time: float
-    timeline: list[tuple[int, ChunkTask, float, float]]  # (stage, task, start, end)
     peak_activation_counts: dict[int, int]
+    telemetry: TelemetryBus = field(repr=False, compare=False)
     job: InterleavedJob = field(repr=False)
+    _timeline_cache: Optional[tuple[int, list[TimelineEntry]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def timeline(self) -> list[TimelineEntry]:
+        """Compute intervals (with ``chunk``), from the telemetry stream."""
+        spans = self.telemetry.spans
+        if self._timeline_cache is None or self._timeline_cache[0] != len(spans):
+            self._timeline_cache = (len(spans), timeline_from_spans(spans))
+        return self._timeline_cache[1]
 
     def bubble_fraction(self) -> float:
         """Idle fraction of the busiest stage."""
-        busy = {}
-        for stage, _t, start, end in self.timeline:
-            busy[stage] = busy.get(stage, 0.0) + (end - start)
+        busy: dict[int, float] = {}
+        for e in self.timeline:
+            busy[e.stage] = busy.get(e.stage, 0.0) + (e.end - e.start)
         return 1.0 - max(busy.values()) / self.iteration_time
 
 
@@ -134,19 +156,17 @@ def simulate_interleaved(job: InterleavedJob) -> InterleavedResult:
     Dependencies: ``F(c, mb)`` waits for the activation of chunk
     ``c-1``; ``B(c, mb)`` for the gradient from chunk ``c+1``; the last
     chunk's backward starts from its own forward.  Transfers occupy a
-    FIFO channel per (src stage, dst stage, direction).
+    kernel serial channel per (src stage, dst stage, direction).
     """
-    loop = EventLoop()
+    loop = Kernel()
+    bus = loop.bus
     p = job.n_stages
     orders = [interleaved_order(job, r) for r in range(p)]
 
     idx = [0] * p
-    running = [False] * p
+    stage_res = [loop.resource(f"stage:{s}") for s in range(p)]
     arrived: set[tuple[str, int, int]] = set()  # (kind, chunk, microbatch)
-    timeline: list[tuple[int, ChunkTask, float, float]] = []
-    act = dict.fromkeys(range(p), 0)
-    peak = dict.fromkeys(range(p), 0)
-    channel_free: dict[tuple[int, int, str], float] = {}
+    act = [bus.gauge("activations", track=f"stage:{s}") for s in range(p)]
     done: set[tuple[str, int, int]] = set()
 
     def deps_met(t: ChunkTask) -> bool:
@@ -171,10 +191,21 @@ def simulate_interleaved(job: InterleavedJob) -> InterleavedResult:
             dur, direction = job.comm_bwd, "bwd"
             key_kind = "B"
         src_stage, dst_stage = job.stage_of(src_chunk), job.stage_of(dst_chunk)
-        ch = (src_stage, dst_stage, direction)
-        start = max(loop.now, channel_free.get(ch, 0.0))
+        chan = loop.channel(f"{src_stage}->{dst_stage}:{direction}")
+        start = chan.reserve(loop.now, dur)
         end = start + dur
-        channel_free[ch] = end
+        bus.emit_span(
+            f"c{src_chunk}->c{dst_chunk}",
+            cat="comm",
+            track=f"chan:{src_stage}->{dst_stage}:{direction}",
+            start=start,
+            end=end,
+            src_stage=src_stage,
+            dst_stage=dst_stage,
+            direction=direction,
+            microbatch=mb,
+            label=f"c{src_chunk}->c{dst_chunk}",
+        )
 
         def deliver(kk=key_kind, dc=dst_chunk, mb=mb, ds=dst_stage) -> None:
             arrived.add((kk, dc, mb))
@@ -183,25 +214,34 @@ def simulate_interleaved(job: InterleavedJob) -> InterleavedResult:
         loop.call_at(end, deliver)
 
     def on_complete(stage: int, t: ChunkTask, start: float) -> None:
-        timeline.append((stage, t, start, loop.now))
+        bus.emit_span(
+            repr(t),
+            cat="compute",
+            track=f"stage:{stage}",
+            start=start,
+            end=loop.now,
+            stage=stage,
+            kind=t.kind,
+            microbatch=t.microbatch,
+            chunk=t.chunk,
+        )
         done.add((t.kind, t.chunk, t.microbatch))
         if t.kind == "F":
-            act[stage] += 1
-            peak[stage] = max(peak[stage], act[stage])
+            act[stage].add(1)
         else:
-            act[stage] -= 1
-        running[stage] = False
+            act[stage].add(-1)
+        stage_res[stage].release()
         idx[stage] += 1
         send(t.kind, t.chunk, t.microbatch)
         try_start(stage)
 
     def try_start(stage: int) -> None:
-        if running[stage] or idx[stage] >= len(orders[stage]):
+        if stage_res[stage].in_use or idx[stage] >= len(orders[stage]):
             return
         t = orders[stage][idx[stage]]
         if not deps_met(t):
             return
-        running[stage] = True
+        stage_res[stage].try_acquire()
         start = loop.now
         dur = job.fwd_time if t.kind == "F" else job.bwd_time
         loop.call_after(dur, lambda: on_complete(stage, t, start))
@@ -214,9 +254,18 @@ def simulate_interleaved(job: InterleavedJob) -> InterleavedResult:
     if stuck:
         detail = {s: repr(orders[s][idx[s]]) for s in stuck}
         raise RuntimeError(f"interleaved schedule deadlocked at {detail}")
+    iteration_time = 0.0
+    peak = dict.fromkeys(range(p), 0)
+    for span in bus.spans:
+        if span.cat == "compute":
+            iteration_time = max(iteration_time, span.end)
+    for c in bus.counters:
+        if c.name == "activations" and c.track.startswith("stage:"):
+            stage = int(c.track[len("stage:"):])
+            peak[stage] = max(peak[stage], int(c.value))
     return InterleavedResult(
-        iteration_time=max((end for _s, _t, _a, end in timeline), default=0.0),
-        timeline=timeline,
+        iteration_time=iteration_time,
         peak_activation_counts=peak,
+        telemetry=bus,
         job=job,
     )

@@ -17,6 +17,15 @@ failures.  The loop:
   and training resumes from the checkpointed iteration, re-running the
   lost iterations (*warmup*) on the new topology.
 
+The supervisor runs on the shared runtime kernel
+(:class:`~repro.runtime.kernel.Kernel`): each iteration, checkpoint
+write and recovery is an event continuation rather than a hand-advanced
+clock, and every phase is emitted to the kernel's telemetry bus
+(``iteration``/``checkpoint`` spans on the ``supervisor`` track; each
+recovery is a nested span with ``detect``/``load``/``reshard``
+children and a ``host-failure`` mark).  ``RunReport.telemetry`` exposes
+the stream.
+
 Everything is deterministic: same spec + schedule + seed gives a
 byte-identical :class:`RunReport` (the ``state_digest`` field exists to
 assert exactly that across processes).
@@ -34,6 +43,8 @@ import numpy as np
 
 from ..compiler import default_plan_cache
 from ..models.parallel import METHODS, ParallelJobSpec, run_iteration
+from ..runtime.kernel import Kernel
+from ..runtime.telemetry import TelemetryBus
 from ..sim.faults import FaultSchedule, HostFailure, RetryPolicy
 from .checkpoint import CheckpointConfig, CheckpointStore
 from .replan import RecoveryError, replan
@@ -90,6 +101,9 @@ class RunReport:
     events: list[RecoveryEvent] = field(default_factory=list)
     state_digest: str = ""
     aborted_reason: str = ""
+    telemetry: Optional[TelemetryBus] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_restarts(self) -> int:
@@ -202,14 +216,32 @@ def simulate_training_run(
     iter_time = run_iteration(spec_cur, method).iteration_time
     ideal_time = n_iterations * iter_time
 
-    t = 0.0
+    kernel = Kernel()
+    bus = kernel.bus
     completed = 0
     used_spares: frozenset[int] = frozenset()
     consumed: set[HostFailure] = set()
     events: list[RecoveryEvent] = []
+    result: list[RunReport] = []
 
-    if config.enabled:
-        t += store.write(0, t, state, meshes)
+    def make_report(
+        done: bool, total_time: float, aborted_reason: str = ""
+    ) -> RunReport:
+        return RunReport(
+            name=spec.name,
+            method=method,
+            n_iterations=n_iterations,
+            iterations_completed=completed,
+            completed=done,
+            total_time=total_time,
+            ideal_time=ideal_time,
+            checkpoint_time=store.total_write_time,
+            n_checkpoints=store.n_writes,
+            events=events,
+            state_digest=_digest(state),
+            aborted_reason=aborted_reason,
+            telemetry=bus,
+        )
 
     def next_strike() -> Optional[HostFailure]:
         working = {h for m in meshes for h in m.hosts}
@@ -220,129 +252,177 @@ def simulate_training_run(
         ]
         return min(live, key=lambda f: (f.time, f.host), default=None)
 
-    while completed < n_iterations:
-        strike = next_strike()
-        iter_end = t + iter_time
-        if strike is not None and strike.time < iter_end:
-            # ---- the iteration in flight is lost ----------------------
-            consumed.add(strike)
-            if len(events) >= max_restarts:
-                return RunReport(
-                    name=spec.name,
-                    method=method,
-                    n_iterations=n_iterations,
-                    iterations_completed=completed,
-                    completed=False,
-                    total_time=max(t, strike.time),
-                    ideal_time=ideal_time,
-                    checkpoint_time=store.total_write_time,
-                    n_checkpoints=store.n_writes,
-                    events=events,
-                    state_digest=_digest(state),
+    def recover(strike: HostFailure) -> None:
+        """Handle a mid-iteration host death; all state mutations happen
+        now, the clock catches up via the scheduled continuation."""
+        nonlocal spec_cur, meshes, iter_time, completed, used_spares, state
+        t = kernel.now
+        consumed.add(strike)
+        bus.mark(
+            "host-failure",
+            track="supervisor",
+            host=strike.host,
+            failure_time=strike.time,
+        )
+        if len(events) >= max_restarts:
+            result.append(
+                make_report(
+                    False,
+                    max(t, strike.time),
                     aborted_reason=(
                         f"host {strike.host} died at t={strike.time:.2f}s "
                         f"after {max_restarts} restart(s) already spent"
                     ),
                 )
-            if store.latest is None:
-                raise RecoveryError(
-                    f"host {strike.host} died at t={strike.time:.2f}s with "
-                    "no checkpoint to recover from (checkpointing disabled?)"
+            )
+            return
+        if store.latest is None:
+            raise RecoveryError(
+                f"host {strike.host} died at t={strike.time:.2f}s with "
+                "no checkpoint to recover from (checkpointing disabled?)"
+            )
+        wasted = max(strike.time - t, 0.0)
+        # The world changed: plans compiled for the pre-failure
+        # topology must never be served again.  Dropping the cache
+        # also bumps its epoch, which is folded into every signature.
+        default_plan_cache().invalidate(
+            reason=f"host {strike.host} failed at t={strike.time:.2f}s"
+        )
+        plan = replan(
+            spec_cur,
+            store.latest,
+            faults,
+            strike.time,
+            used_spares=used_spares,
+            strategy=METHODS[method].strategy,
+            retry_policy=retry_policy,
+        )
+        load = store.read_time(store.latest)
+        meshes = plan.new_meshes
+        # A shrunk stage computes slower in proportion to the devices
+        # it lost (weak-scaling model); substitution keeps sizes.
+        profiles = [
+            dataclasses.replace(
+                p,
+                fwd_time=p.fwd_time * k,
+                bwd_x_time=p.bwd_x_time * k,
+                bwd_w_time=p.bwd_w_time * k,
+            )
+            for p, k in (
+                (
+                    spec.profiles[s],
+                    spec.stage_meshes[s].n_devices / meshes[s].n_devices,
                 )
-            wasted = max(strike.time - t, 0.0)
-            # The world changed: plans compiled for the pre-failure
-            # topology must never be served again.  Dropping the cache
-            # also bumps its epoch, which is folded into every signature.
-            default_plan_cache().invalidate(
-                reason=f"host {strike.host} failed at t={strike.time:.2f}s"
+                for s in range(n_stages)
             )
-            plan = replan(
-                spec_cur,
-                store.latest,
-                faults,
-                strike.time,
-                used_spares=used_spares,
-                strategy=METHODS[method].strategy,
-                retry_policy=retry_policy,
+        ]
+        spec_cur = dataclasses.replace(
+            spec_cur, stage_meshes=meshes, profiles=profiles
+        )
+        used_spares = used_spares | set(plan.used_spares)
+        new_iter_time = run_iteration(spec_cur, method).iteration_time
+        rollback = completed - store.latest.iteration
+        state = {s: a.copy() for s, a in store.latest.arrays.items()}
+        completed = store.latest.iteration
+        events.append(
+            RecoveryEvent(
+                failure=strike,
+                mode=plan.mode,
+                promoted_spares=plan.used_spares,
+                rollback_iterations=rollback,
+                detect=config.detection_latency,
+                load=load,
+                reshard=plan.reshard_time,
+                warmup=rollback * new_iter_time,
+                wasted=wasted,
+                reshard_bytes=plan.bytes_moved,
+                certified=plan.certified,
             )
-            load = store.read_time(store.latest)
-            meshes = plan.new_meshes
-            # A shrunk stage computes slower in proportion to the devices
-            # it lost (weak-scaling model); substitution keeps sizes.
-            profiles = [
-                dataclasses.replace(
-                    p,
-                    fwd_time=p.fwd_time * k,
-                    bwd_x_time=p.bwd_x_time * k,
-                    bwd_w_time=p.bwd_w_time * k,
-                )
-                for p, k in (
-                    (
-                        spec.profiles[s],
-                        spec.stage_meshes[s].n_devices / meshes[s].n_devices,
-                    )
-                    for s in range(n_stages)
-                )
-            ]
-            spec_cur = dataclasses.replace(
-                spec_cur, stage_meshes=meshes, profiles=profiles
-            )
-            used_spares = used_spares | set(plan.used_spares)
-            new_iter_time = run_iteration(spec_cur, method).iteration_time
-            rollback = completed - store.latest.iteration
-            state = {s: a.copy() for s, a in store.latest.arrays.items()}
-            completed = store.latest.iteration
-            events.append(
-                RecoveryEvent(
-                    failure=strike,
-                    mode=plan.mode,
-                    promoted_spares=plan.used_spares,
-                    rollback_iterations=rollback,
-                    detect=config.detection_latency,
-                    load=load,
-                    reshard=plan.reshard_time,
-                    warmup=rollback * new_iter_time,
-                    wasted=wasted,
-                    reshard_bytes=plan.bytes_moved,
-                    certified=plan.certified,
-                )
-            )
-            iter_time = new_iter_time
-            # Detection may complete while we were still mid-recovery of
-            # an earlier failure; never move the clock backwards.
-            t = (
-                max(strike.time + config.detection_latency, t)
-                + load
-                + plan.reshard_time
-            )
-            # Make the new placement durable right away: until a fresh
-            # checkpoint exists, the old one still references the dead
-            # host and a second failure could strand every replica.
-            t += store.write(completed, t, state, meshes)
-            continue
+        )
+        iter_time = new_iter_time
+        # Detection may complete while we were still mid-recovery of
+        # an earlier failure; never move the clock backwards.
+        base = max(strike.time + config.detection_latency, t)
+        resharded_at = base + load + plan.reshard_time
+        # Make the new placement durable right away: until a fresh
+        # checkpoint exists, the old one still references the dead
+        # host and a second failure could strand every replica.
+        write = store.write(completed, resharded_at, state, meshes)
+        t_done = resharded_at + write
+        bus.begin(
+            f"recovery{len(events) - 1}",
+            cat="recovery",
+            track="supervisor",
+            host=strike.host,
+            mode=plan.mode,
+        )
+        bus.emit_span(
+            "detect", cat="recovery.detect", track="supervisor",
+            start=strike.time, end=strike.time + config.detection_latency,
+        )
+        bus.emit_span(
+            "load", cat="recovery.load", track="supervisor",
+            start=base, end=base + load,
+        )
+        bus.emit_span(
+            "reshard", cat="recovery.reshard", track="supervisor",
+            start=base + load, end=resharded_at,
+            bytes_moved=plan.bytes_moved, certified=plan.certified,
+        )
+        bus.emit_span(
+            "checkpoint", cat="checkpoint", track="supervisor",
+            start=resharded_at, end=t_done, iteration=completed,
+        )
 
+        def end_recovery() -> None:
+            bus.end("supervisor")
+            step()
+
+        kernel.call_at(t_done, end_recovery)
+
+    def step() -> None:
+        """One supervisor decision at the current simulated time."""
+        nonlocal completed
+        t = kernel.now
+        if completed >= n_iterations:
+            result.append(make_report(True, t))
+            return
+        strike = next_strike()
+        iter_end = t + iter_time
+        if strike is not None and strike.time < iter_end:
+            recover(strike)  # the iteration in flight is lost
+            return
         # ---- a healthy iteration ------------------------------------
         for s in range(n_stages):
             state[s] += _iteration_update(s, completed)
+        bus.emit_span(
+            f"iter{completed}", cat="iteration", track="supervisor",
+            start=t, end=iter_end, iteration=completed,
+        )
         completed += 1
-        t = iter_end
+        t_next = iter_end
         if (
             config.enabled
             and completed % config.interval == 0
             and completed < n_iterations
         ):
-            t += store.write(completed, t, state, meshes)
+            write = store.write(completed, t_next, state, meshes)
+            bus.emit_span(
+                "checkpoint", cat="checkpoint", track="supervisor",
+                start=t_next, end=t_next + write, iteration=completed,
+            )
+            t_next += write
+        kernel.call_at(t_next, step)
 
-    return RunReport(
-        name=spec.name,
-        method=method,
-        n_iterations=n_iterations,
-        iterations_completed=completed,
-        completed=True,
-        total_time=t,
-        ideal_time=ideal_time,
-        checkpoint_time=store.total_write_time,
-        n_checkpoints=store.n_writes,
-        events=events,
-        state_digest=_digest(state),
-    )
+    if config.enabled:
+        first_write = store.write(0, 0.0, state, meshes)
+        bus.emit_span(
+            "checkpoint", cat="checkpoint", track="supervisor",
+            start=0.0, end=first_write, iteration=0,
+        )
+        kernel.call_at(first_write, step)
+    else:
+        kernel.call_at(0.0, step)
+    kernel.run()
+    assert result, "supervisor ended without producing a report"
+    return result[0]

@@ -1,0 +1,179 @@
+"""The discrete-event kernel every simulator runs on.
+
+:class:`EventLoop` is the minimal deterministic priority-queue engine
+(moved here from ``repro.sim.events``, which remains as a compatibility
+shim).  All simulated time is in seconds (float).  Determinism is
+guaranteed by breaking time ties with a monotonically increasing
+sequence number in the heap key, so events at equal timestamps pop in
+insertion order on every Python version and two runs over the same
+inputs produce identical schedules.
+
+:class:`Kernel` generalizes the loop into the shared runtime substrate:
+
+* a :class:`~repro.runtime.telemetry.TelemetryBus` wired to the
+  simulated clock, so every executor reports through one span stream;
+* named :class:`~repro.runtime.resources.Resource` token pools and
+  :class:`~repro.runtime.resources.SerialChannel` reservation ledgers
+  (NICs, devices, directed stage-pair links) looked up by name.
+
+The engine stays deliberately tiny: the network model
+(:mod:`repro.sim.network`), the pipeline executors, and the recovery
+supervisor all drive it with plain callbacks instead of coroutines,
+which keeps stack traces shallow and the hot loop cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .resources import Resource, SerialChannel
+from .telemetry import TelemetryBus
+
+__all__ = ["Event", "EventLoop", "Kernel"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap pops them in
+    chronological order with FIFO tie-breaking.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Deterministic discrete-event loop.
+
+    Usage::
+
+        loop = EventLoop()
+        loop.call_at(1.5, lambda: print("hello at t=1.5"))
+        loop.run()
+        assert loop.now == 1.5
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self._n_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run at absolute simulated time ``when``."""
+        if when < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule event in the past: {when} < now={self.now}"
+            )
+        ev = Event(time=max(when, self.now), seq=self._seq, fn=fn)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self.now + delay, fn)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next pending event.  Returns False when idle."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self._n_processed += 1
+            ev.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains (or simulated time passes ``until``).
+
+        Returns the final simulated time.  ``max_events`` is a runaway
+        guard; hitting it raises ``RuntimeError``.
+        """
+        n = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                break
+            if not self.step():
+                break
+            n += 1
+            if n > max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events} events)")
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._n_processed
+
+
+class Kernel(EventLoop):
+    """Event loop + telemetry bus + named resources: the shared runtime.
+
+    A fresh kernel owns a fresh bus whose clock is the kernel's ``now``;
+    pass ``bus`` to share one stream across several kernels (e.g. the
+    auto strategy scoring candidates onto one trace).
+    """
+
+    def __init__(self, bus: Optional[TelemetryBus] = None) -> None:
+        super().__init__()
+        self.bus: TelemetryBus = (
+            bus if bus is not None else TelemetryBus(clock=lambda: self.now)
+        )
+        self._resources: dict[str, Resource] = {}
+        self._channels: dict[str, SerialChannel] = {}
+
+    def resource(self, name: str, capacity: int = 1) -> Resource:
+        """Get-or-create the named FIFO token pool."""
+        found = self._resources.get(name)
+        if found is None:
+            found = self._resources[name] = Resource(self, name, capacity)
+        elif found.capacity != capacity:
+            raise ValueError(
+                f"resource {name!r} exists with capacity {found.capacity}, "
+                f"requested {capacity}"
+            )
+        return found
+
+    def channel(self, name: str) -> SerialChannel:
+        """Get-or-create the named serial reservation channel."""
+        found = self._channels.get(name)
+        if found is None:
+            found = self._channels[name] = SerialChannel(self, name)
+        return found
+
+    @property
+    def resources(self) -> dict[str, Resource]:
+        """Live view of the kernel's named token pools."""
+        return self._resources
+
+    @property
+    def channels(self) -> dict[str, SerialChannel]:
+        """Live view of the kernel's named serial channels."""
+        return self._channels

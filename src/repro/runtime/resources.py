@@ -1,0 +1,128 @@
+"""Resource primitives for the event kernel.
+
+Two complementary models of contention:
+
+* :class:`Resource` — a FIFO token pool.  Callers ``acquire`` a token
+  (granted immediately when available, otherwise queued) and
+  ``release`` it when done; queued waiters are granted in FIFO order at
+  the release instant via a zero-delay kernel event, which keeps grant
+  order deterministic under the kernel's ``(time, seq)`` tie-breaking.
+  Good for devices and bounded-concurrency stages.
+
+* :class:`SerialChannel` — a capacity-1 *reservation ledger* over
+  simulated time: ``reserve(ready, duration)`` books the earliest
+  interval starting at or after ``ready`` once everything previously
+  booked has drained, and returns its start.  This is the executable
+  form of the pipeline executors' FIFO channel rule
+  ``start = max(ready, channel_free)`` and is exact — no events fire,
+  so reserving cannot perturb the schedule that prices it.
+
+Both are owned by a :class:`~repro.runtime.kernel.Kernel` and looked up
+by name (``kernel.resource("nic:3")``, ``kernel.channel("0->1:fwd")``),
+so traces and debuggers see one consistent namespace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Kernel
+
+__all__ = ["Resource", "SerialChannel"]
+
+
+class Resource:
+    """A named FIFO token pool on the kernel."""
+
+    def __init__(self, kernel: "Kernel", name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.name = name
+        self.capacity = capacity
+        #: tokens free right now — a plain attribute (not a property)
+        #: because executors poll it once per scheduling decision
+        self.available = capacity
+        self._waiters: deque[Callable[[], None]] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self.available
+
+    @property
+    def waiting(self) -> int:
+        """Callers queued behind the pool."""
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """Take a token if one is free; never queues."""
+        if self.available > 0:
+            self.available -= 1
+            return True
+        return False
+
+    def acquire(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` holding a token: now if free, else FIFO-queued.
+
+        An immediately available token grants synchronously (``fn`` runs
+        before ``acquire`` returns); a queued grant runs from a
+        zero-delay event scheduled at the release instant.
+        """
+        if self.available > 0:
+            self.available -= 1
+            fn()
+        else:
+            self._waiters.append(fn)
+
+    def release(self) -> None:
+        """Return a token; hand it straight to the oldest waiter if any."""
+        if self.available >= self.capacity and not self._waiters:
+            raise RuntimeError(f"resource {self.name!r}: release without acquire")
+        if self._waiters:
+            fn = self._waiters.popleft()
+            # Zero-delay event: the grant happens at the same simulated
+            # time but outside the releasing callback's stack frame.
+            self.kernel.call_after(0.0, fn)
+        else:
+            self.available += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, {self.in_use}/{self.capacity} in use, "
+            f"{self.waiting} waiting)"
+        )
+
+
+class SerialChannel:
+    """A capacity-1 FIFO reservation ledger over simulated time."""
+
+    def __init__(self, kernel: "Kernel", name: str) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.free_at = 0.0
+        self.n_reservations = 0
+        self.busy_time = 0.0
+
+    def reserve(self, ready: float, duration: float) -> float:
+        """Book ``duration`` seconds starting no earlier than ``ready``.
+
+        Returns the booked start time: ``max(ready, free_at)``, i.e. the
+        channel serves reservations strictly in request order.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        start = ready if ready > self.free_at else self.free_at
+        self.free_at = start + duration
+        self.n_reservations += 1
+        self.busy_time += duration
+        return start
+
+    def __repr__(self) -> str:
+        return (
+            f"SerialChannel({self.name!r}, free_at={self.free_at:.6f}, "
+            f"{self.n_reservations} reservation(s))"
+        )

@@ -1,120 +1,15 @@
-"""Discrete-event simulation engine.
+"""Compatibility shim: the event engine moved to :mod:`repro.runtime.kernel`.
 
-A minimal, deterministic priority-queue event loop.  All simulated time is
-in seconds (float).  Determinism is guaranteed by breaking time ties with a
-monotonically increasing sequence number, so two runs over the same inputs
-produce identical schedules.
-
-The engine is deliberately tiny: the network model (`repro.sim.network`)
-and the pipeline executor (`repro.pipeline.executor`) both drive it with
-plain callbacks instead of coroutines, which keeps stack traces shallow and
-the hot loop cheap (per the project's "simple vectorized/flat Python"
-performance guidance).
+The deterministic priority-queue loop that used to live here is now the
+foundation of the unified runtime kernel (heap-scheduled events with
+``(time, seq)`` FIFO tie-breaking, simulated clock, resource tokens,
+telemetry bus).  Import :class:`~repro.runtime.kernel.Kernel` for new
+code; ``EventLoop``/``Event`` remain importable from here so existing
+callers keep working.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from ..runtime.kernel import Event, EventLoop, Kernel
 
-__all__ = ["EventLoop", "Event"]
-
-
-@dataclass(order=True)
-class Event:
-    """A scheduled callback.
-
-    Events compare by ``(time, seq)`` so the heap pops them in
-    chronological order with FIFO tie-breaking.
-    """
-
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-    def cancel(self) -> None:
-        """Mark the event so the loop skips it when popped."""
-        self.cancelled = True
-
-
-class EventLoop:
-    """Deterministic discrete-event loop.
-
-    Usage::
-
-        loop = EventLoop()
-        loop.call_at(1.5, lambda: print("hello at t=1.5"))
-        loop.run()
-        assert loop.now == 1.5
-    """
-
-    def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._seq = 0
-        self.now: float = 0.0
-        self._n_processed = 0
-
-    # ------------------------------------------------------------------
-    # Scheduling
-    # ------------------------------------------------------------------
-    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run at absolute simulated time ``when``."""
-        if when < self.now - 1e-12:
-            raise ValueError(
-                f"cannot schedule event in the past: {when} < now={self.now}"
-            )
-        ev = Event(time=max(when, self.now), seq=self._seq, fn=fn)
-        self._seq += 1
-        heapq.heappush(self._queue, ev)
-        return ev
-
-    def call_after(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise ValueError(f"negative delay: {delay}")
-        return self.call_at(self.now + delay, fn)
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Process the next pending event.  Returns False when idle."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            self.now = ev.time
-            self._n_processed += 1
-            ev.fn()
-            return True
-        return False
-
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
-        """Run until the queue drains (or simulated time passes ``until``).
-
-        Returns the final simulated time.  ``max_events`` is a runaway
-        guard; hitting it raises ``RuntimeError``.
-        """
-        n = 0
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
-                self.now = until
-                break
-            if not self.step():
-                break
-            n += 1
-            if n > max_events:
-                raise RuntimeError(f"event budget exceeded ({max_events} events)")
-        return self.now
-
-    @property
-    def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
-
-    @property
-    def processed(self) -> int:
-        """Total number of events executed so far."""
-        return self._n_processed
+__all__ = ["EventLoop", "Event", "Kernel"]

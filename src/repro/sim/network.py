@@ -19,6 +19,13 @@ advances directly to the earliest completion, so simulation cost is
 ``O(events x flows x ports)`` — comfortably fast for cluster sizes in the
 paper (dozens of devices, thousands of flows).
 
+The network runs on the unified runtime kernel
+(:class:`~repro.runtime.kernel.Kernel`) and reports through its
+telemetry bus: every delivered/failed/abandoned flow attempt is emitted
+as a ``cat="flow"`` span, byte totals are counters, and fault incidents
+are marks.  ``Network.trace`` is a *derived view* over those spans (the
+legacy :class:`FlowRecord` format), not separate bookkeeping.
+
 **Fault tolerance** (optional): constructed with a
 :class:`~repro.sim.faults.FaultSchedule`, the network becomes lossy —
 NIC capacities vary over time (degradation windows), flows through a
@@ -38,8 +45,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..runtime.kernel import Event, EventLoop, Kernel
+from ..runtime.telemetry import SpanRecord, TelemetryBus
 from .cluster import Cluster
-from .events import Event, EventLoop
 from .faults import FaultIncident, FaultReport, FaultSchedule, RetryPolicy
 
 __all__ = ["Flow", "FlowRecord", "Network"]
@@ -112,6 +120,23 @@ class FlowRecord:
         return active_from - self.submit_time
 
 
+def _flow_record_from_span(span: SpanRecord) -> FlowRecord:
+    """Rebuild the legacy record from one ``cat="flow"`` span."""
+    a = span.attrs
+    return FlowRecord(
+        flow_id=int(a["flow_id"]),  # type: ignore[arg-type]
+        src=int(a["src"]),  # type: ignore[arg-type]
+        dst=int(a["dst"]),  # type: ignore[arg-type]
+        nbytes=float(a["nbytes"]),  # type: ignore[arg-type]
+        submit_time=float(a["submit_time"]),  # type: ignore[arg-type]
+        start_time=float(a["active_start"]),  # type: ignore[arg-type]
+        finish_time=span.end,
+        tag=str(a["tag"]),
+        attempts=int(a["attempts"]),  # type: ignore[arg-type]
+        status=str(a["status"]),
+    )
+
+
 class Network:
     """Simulates timed data transfers over a :class:`Cluster`.
 
@@ -129,15 +154,22 @@ class Network:
         retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.cluster = cluster
-        self.loop = loop if loop is not None else EventLoop()
+        self.loop = loop if loop is not None else Kernel()
+        self.bus: TelemetryBus = (
+            self.loop.bus
+            if isinstance(self.loop, Kernel)
+            else TelemetryBus(clock=lambda: self.loop.now)
+        )
         self._active: dict[int, Flow] = {}
         self._next_id = 0
         self._completion_event: Optional[Event] = None
         self._expected_finish: list[int] = []
         self._last_update = 0.0
-        self.trace: list[FlowRecord] = []
+        self._trace_view: list[FlowRecord] = []
         self.bytes_cross_host = 0.0
         self.bytes_intra_host = 0.0
+        self._c_cross = self.bus.counter("bytes_cross_host", track="net")
+        self._c_intra = self.bus.counter("bytes_intra_host", track="net")
         # -- fault tolerance (all no-ops when faults is None) ----------
         self.faults = faults
         self.retry_policy = retry_policy or RetryPolicy()
@@ -225,6 +257,46 @@ class Network:
         latency = self.cluster.link_latency(src, dst) + extra_latency
         self.loop.call_after(latency, lambda: self._activate(flow))
         return flow
+
+    # ------------------------------------------------------------------
+    # Telemetry: the bus is the source of truth; `trace` is a view
+    # ------------------------------------------------------------------
+    def _emit_flow(
+        self, flow: Flow, status: str, finish_time: Optional[float] = None
+    ) -> None:
+        """Emit one flow disposition as a ``cat="flow"`` span."""
+        finish = flow.finish_time if finish_time is None else finish_time
+        start = flow.start_time if flow.start_time >= 0.0 else flow.submit_time
+        self.bus.span(
+            flow.tag or f"flow{flow.flow_id}",
+            "flow",
+            f"dev:{flow.src}",
+            start,
+            finish,
+            {
+                "flow_id": flow.flow_id,
+                "src": flow.src,
+                "dst": flow.dst,
+                "nbytes": flow.nbytes,
+                "submit_time": flow.submit_time,
+                "active_start": flow.start_time,
+                "attempts": flow.attempts,
+                "status": status,
+                "tag": flow.tag,
+            },
+        )
+
+    @property
+    def trace(self) -> list[FlowRecord]:
+        """Flow dispositions as legacy :class:`FlowRecord`\\ s.
+
+        Derived from the telemetry bus's ``flow`` spans (and cached —
+        the view only rebuilds when new spans were emitted).
+        """
+        spans = [s for s in self.bus.spans if s.cat == "flow"]
+        if len(spans) != len(self._trace_view):
+            self._trace_view = [_flow_record_from_span(s) for s in spans]
+        return self._trace_view
 
     # ------------------------------------------------------------------
     # Internals
@@ -352,22 +424,11 @@ class Network:
         flow.remaining = 0.0
         if self.cluster.same_host(flow.src, flow.dst):
             self.bytes_intra_host += flow.nbytes
+            self._c_intra.add(flow.nbytes)
         else:
             self.bytes_cross_host += flow.nbytes
-        self.trace.append(
-            FlowRecord(
-                flow_id=flow.flow_id,
-                src=flow.src,
-                dst=flow.dst,
-                nbytes=flow.nbytes,
-                submit_time=flow.submit_time,
-                start_time=flow.start_time,
-                finish_time=flow.finish_time,
-                tag=flow.tag,
-                attempts=flow.attempts,
-                status="ok" if flow.attempts == 1 else "retried",
-            )
-        )
+            self._c_cross.add(flow.nbytes)
+        self._emit_flow(flow, "ok" if flow.attempts == 1 else "retried")
         if flow.on_complete is not None:
             flow.on_complete(flow)
 
@@ -375,20 +436,7 @@ class Network:
     # Fault machinery (reached only when a FaultSchedule is installed)
     # ------------------------------------------------------------------
     def _record(self, flow: Flow, status: str) -> None:
-        self.trace.append(
-            FlowRecord(
-                flow_id=flow.flow_id,
-                src=flow.src,
-                dst=flow.dst,
-                nbytes=flow.nbytes,
-                submit_time=flow.submit_time,
-                start_time=flow.start_time,
-                finish_time=self.loop.now,
-                tag=flow.tag,
-                attempts=flow.attempts,
-                status=status,
-            )
-        )
+        self._emit_flow(flow, status, finish_time=self.loop.now)
 
     def _fail_flow(self, flow: Flow, reason: str) -> None:
         """One attempt failed: record it and retry or abandon."""

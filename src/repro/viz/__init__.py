@@ -1,7 +1,12 @@
 """Terminal visualizations of simulation results (Gantt, traffic)."""
 
-from .gantt import GanttRow, flow_gantt, pipeline_gantt, render_rows
-from .trace_export import flow_trace_events, pipeline_trace_events, write_chrome_trace
+from .gantt import GanttRow, bus_gantt, flow_gantt, pipeline_gantt, render_rows
+from .trace_export import (
+    bus_flow_trace_events,
+    flow_trace_events,
+    pipeline_trace_events,
+    write_chrome_trace,
+)
 from .traffic import (
     LinkStats,
     device_traffic_matrix,
@@ -22,5 +27,7 @@ __all__ = [
     "format_matrix",
     "pipeline_trace_events",
     "flow_trace_events",
+    "bus_flow_trace_events",
+    "bus_gantt",
     "write_chrome_trace",
 ]

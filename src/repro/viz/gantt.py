@@ -11,9 +11,10 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..pipeline.executor import PipelineResult
+from ..runtime.telemetry import TelemetryBus
 from ..sim.network import FlowRecord
 
-__all__ = ["GanttRow", "render_rows", "pipeline_gantt", "flow_gantt"]
+__all__ = ["GanttRow", "render_rows", "pipeline_gantt", "flow_gantt", "bus_gantt"]
 
 _KIND_CHARS = {"F": "F", "B": "B", "Bx": "x", "Bw": "w"}
 
@@ -126,5 +127,32 @@ def flow_gantt(
         else:
             key = f"d{rec.src}->d{rec.dst}"
         rows_map.setdefault(key, []).append((rec.start_time, rec.finish_time, "#"))
+    rows = [GanttRow(k, tuple(sorted(v))) for k, v in sorted(rows_map.items())]
+    return render_rows(rows, width=width)
+
+
+def bus_gantt(
+    bus: TelemetryBus,
+    width: int = 100,
+    cats: Optional[Sequence[str]] = None,
+) -> str:
+    """Generic timeline of a telemetry bus: one row per span track.
+
+    Works for any simulator on the runtime kernel (pipeline stages,
+    network devices, the recovery supervisor) since they all emit to
+    the same span stream.  ``cats`` restricts the categories shown;
+    compute spans reuse the pipeline glyphs, everything else renders as
+    the first letter of its category.
+    """
+    wanted = None if cats is None else frozenset(cats)
+    rows_map: dict[str, list[tuple[float, float, str]]] = {}
+    for span in bus.spans:
+        if wanted is not None and span.cat not in wanted:
+            continue
+        if span.cat == "compute":
+            glyph = _KIND_CHARS.get(str(span.attrs.get("kind", "")), "?")
+        else:
+            glyph = (span.cat or "?")[0]
+        rows_map.setdefault(span.track, []).append((span.start, span.end, glyph))
     rows = [GanttRow(k, tuple(sorted(v))) for k, v in sorted(rows_map.items())]
     return render_rows(rows, width=width)

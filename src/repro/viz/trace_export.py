@@ -7,25 +7,44 @@ format for interactive inspection:
 * pipeline: one process per stage, tracks for compute and transfers;
 * network: one process per host, one track per device.
 
+Since the unification on the runtime kernel, every simulator reports
+through one telemetry bus, and these exporters read the span stream —
+:func:`pipeline_trace_events` folds ``cat="compute"``/``cat="comm"``
+spans, :func:`bus_flow_trace_events` folds ``cat="flow"`` spans.
+:func:`flow_trace_events` keeps accepting the derived
+:class:`~repro.sim.network.FlowRecord` view for callers that already
+hold one.  For a layout-agnostic dump of a whole bus (all categories,
+counters, marks) use :func:`repro.runtime.trace.chrome_trace_events`.
+
 Timestamps are microseconds (the format's convention).
 """
 
 from __future__ import annotations
 
-import json
 from typing import Sequence
 
 from ..pipeline.executor import PipelineResult
+from ..runtime.telemetry import TelemetryBus
+from ..runtime.trace import write_chrome_trace_file
 from ..sim.cluster import Cluster
 from ..sim.network import FlowRecord
 
-__all__ = ["pipeline_trace_events", "flow_trace_events", "write_chrome_trace"]
+__all__ = [
+    "pipeline_trace_events",
+    "flow_trace_events",
+    "bus_flow_trace_events",
+    "write_chrome_trace",
+]
 
 _US = 1e6
 
 
 def pipeline_trace_events(result: PipelineResult) -> list[dict]:
-    """Trace events for one simulated training iteration."""
+    """Trace events for one simulated training iteration.
+
+    Reads the result's telemetry spans (the executors emit one
+    ``compute`` span per task and one ``comm`` span per transfer).
+    """
     events: list[dict] = []
     for s in range(result.job.n_stages):
         events.append(
@@ -36,72 +55,115 @@ def pipeline_trace_events(result: PipelineResult) -> list[dict]:
                 "args": {"name": f"stage {s}"},
             }
         )
-    for e in result.timeline:
+    for span in result.telemetry.spans_by_cat("compute"):
+        a = span.attrs
         events.append(
             {
-                "name": f"{e.kind}{e.microbatch}",
+                "name": f"{a['kind']}{a['microbatch']}",
                 "cat": "compute",
                 "ph": "X",
-                "ts": e.start * _US,
-                "dur": (e.end - e.start) * _US,
-                "pid": e.stage,
+                "ts": span.start * _US,
+                "dur": (span.end - span.start) * _US,
+                "pid": int(a["stage"]),  # type: ignore[arg-type]
                 "tid": 0,
-                "args": {"microbatch": e.microbatch},
+                "args": {"microbatch": a["microbatch"]},
             }
         )
-    for c in result.comms:
+    for span in result.telemetry.spans_by_cat("comm"):
+        a = span.attrs
         events.append(
             {
-                "name": f"{c.label or 'comm'} mb{c.microbatch} {c.direction}",
+                "name": f"{a['label'] or 'comm'} mb{a['microbatch']} {a['direction']}",
                 "cat": "comm",
                 "ph": "X",
-                "ts": c.start * _US,
-                "dur": (c.end - c.start) * _US,
-                "pid": c.src_stage,
-                "tid": 1 if c.direction == "fwd" else 2,
+                "ts": span.start * _US,
+                "dur": (span.end - span.start) * _US,
+                "pid": int(a["src_stage"]),  # type: ignore[arg-type]
+                "tid": 1 if a["direction"] == "fwd" else 2,
                 "args": {
-                    "src_stage": c.src_stage,
-                    "dst_stage": c.dst_stage,
-                    "direction": c.direction,
+                    "src_stage": a["src_stage"],
+                    "dst_stage": a["dst_stage"],
+                    "direction": a["direction"],
                 },
             }
         )
     return events
 
 
+def _flow_event(
+    name: str,
+    cluster: Cluster,
+    src: int,
+    dst: int,
+    nbytes: float,
+    start: float,
+    duration: float,
+) -> dict:
+    return {
+        "name": name,
+        "cat": "intra" if cluster.same_host(src, dst) else "cross",
+        "ph": "X",
+        "ts": start * _US,
+        "dur": max(duration * _US, 0.01),
+        "pid": cluster.host_of(src),
+        "tid": cluster.device(src).local_id,
+        "args": {"src": src, "dst": dst, "bytes": nbytes},
+    }
+
+
+def _host_metas(cluster: Cluster) -> list[dict]:
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": host.host_id,
+            "args": {"name": f"host {host.host_id}"},
+        }
+        for host in cluster.hosts
+    ]
+
+
 def flow_trace_events(trace: Sequence[FlowRecord], cluster: Cluster) -> list[dict]:
     """Trace events for the flow-level network simulation."""
-    events: list[dict] = []
-    for host in cluster.hosts:
-        events.append(
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": host.host_id,
-                "args": {"name": f"host {host.host_id}"},
-            }
-        )
+    events = _host_metas(cluster)
     for rec in trace:
         events.append(
-            {
-                "name": rec.tag or f"flow{rec.flow_id}",
-                "cat": "intra" if cluster.same_host(rec.src, rec.dst) else "cross",
-                "ph": "X",
-                "ts": rec.start_time * _US,
-                "dur": max(rec.duration * _US, 0.01),
-                "pid": cluster.host_of(rec.src),
-                "tid": cluster.device(rec.src).local_id,
-                "args": {
-                    "src": rec.src,
-                    "dst": rec.dst,
-                    "bytes": rec.nbytes,
-                },
-            }
+            _flow_event(
+                rec.tag or f"flow{rec.flow_id}",
+                cluster,
+                rec.src,
+                rec.dst,
+                rec.nbytes,
+                rec.start_time,
+                rec.duration,
+            )
+        )
+    return events
+
+
+def bus_flow_trace_events(bus: TelemetryBus, cluster: Cluster) -> list[dict]:
+    """Trace events straight from a network's ``cat="flow"`` spans.
+
+    Produces the same layout as :func:`flow_trace_events` without going
+    through the :class:`~repro.sim.network.FlowRecord` view.
+    """
+    events = _host_metas(cluster)
+    for span in bus.spans_by_cat("flow"):
+        a = span.attrs
+        events.append(
+            _flow_event(
+                span.name,
+                cluster,
+                int(a["src"]),  # type: ignore[arg-type]
+                int(a["dst"]),  # type: ignore[arg-type]
+                float(a["nbytes"]),  # type: ignore[arg-type]
+                span.start,
+                span.end - span.start,
+            )
         )
     return events
 
 
 def write_chrome_trace(events: list[dict], path: str) -> None:
     """Write events as a Chrome-tracing JSON file."""
-    with open(path, "w") as f:
-        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f)
+    write_chrome_trace_file(events, path)

@@ -112,10 +112,8 @@ def test_interleaving_costs_memory():
 def test_causality_across_chunks():
     job = make_job(p=2, v=2, m=4, comm=0.3)
     r = simulate_interleaved(job)
-    ends = {(t.kind, t.chunk, t.microbatch): end
-            for _s, t, _a, end in r.timeline}
-    starts = {(t.kind, t.chunk, t.microbatch): start
-              for _s, t, start, _e in r.timeline}
+    ends = {(t.kind, t.chunk, t.microbatch): t.end for t in r.timeline}
+    starts = {(t.kind, t.chunk, t.microbatch): t.start for t in r.timeline}
     for mb in range(4):
         for c in range(1, job.n_chunks):
             assert starts[("F", c, mb)] >= ends[("F", c - 1, mb)] + 0.3 - 1e-9
@@ -131,7 +129,7 @@ def test_stage_exclusivity():
     r = simulate_interleaved(job)
     for s in range(3):
         entries = sorted(
-            [(a, e) for st, _t, a, e in r.timeline if st == s]
+            [(t.start, t.end) for t in r.timeline if t.stage == s]
         )
         for (a1, e1), (a2, _e2) in zip(entries, entries[1:]):
             assert e1 <= a2 + 1e-9
@@ -141,7 +139,7 @@ def test_total_compute_conserved():
     job = make_job(p=2, v=2, m=4, fwd=1.0, comm=0.1)
     r = simulate_interleaved(job)
     for s in range(2):
-        busy = sum(e - a for st, _t, a, e in r.timeline if st == s)
+        busy = sum(t.end - t.start for t in r.timeline if t.stage == s)
         # per stage: v chunks x m microbatches x (fwd + bwd)
         assert busy == pytest.approx(2 * 4 * 3.0)
 
