@@ -242,6 +242,181 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_analysis(report, verbose: bool) -> bool:
+    """Render one AnalysisReport; returns True when it has no errors."""
+    n_err = len(report.errors)
+    n_warn = len(report.warnings)
+    status = "ok " if n_err == 0 else "FAIL"
+    print(f"  {status} {report.subject:<40} {n_err} error(s), {n_warn} warning(s)")
+    if n_err or verbose:
+        for diag in report.diagnostics:
+            for line in diag.format().splitlines():
+                print("       " + line)
+    return n_err == 0
+
+
+def _analyze_compiled(task, strategy: str, label: str, verbose: bool) -> bool:
+    from .analysis import check_plan
+    from .compiler import CompileContext, compile_resharding
+
+    compiled = compile_resharding(
+        task, CompileContext(strategy=strategy, validate=False)
+    )
+    report = check_plan(compiled.plan)
+    report.subject = label
+    return _print_analysis(report, verbose)
+
+
+def _golden_reshardings(workload: str):
+    """Yield (label, task, strategy) for one figure's golden workloads."""
+    from .core.mesh import DeviceMesh
+    from .core.task import ReshardingTask
+    from .experiments.common import make_microbench_meshes, paper_cluster
+
+    strategies = ("send_recv", "allgather", "broadcast")
+    if workload == "fig5":
+        from .experiments.fig5 import MESSAGE_SHAPE
+
+        for n_hosts, gpus in [(1, 1), (1, 2), (1, 3), (1, 4), (2, 2), (3, 2), (4, 2)]:
+            cluster = paper_cluster(1 + n_hosts, devices_per_host=4)
+            src = DeviceMesh(cluster, [[0]])
+            dst = DeviceMesh.from_hosts(
+                cluster, range(1, 1 + n_hosts), devices_per_host=gpus
+            )
+            task = ReshardingTask(
+                MESSAGE_SHAPE, src, "R", dst, "R", dtype=np.float32
+            )
+            for s in strategies:
+                yield f"fig5[{n_hosts}x{gpus}:{s}]", task, s
+    elif workload == "fig6":
+        from .experiments.fig6 import TABLE2_CASES, TENSOR_SHAPE
+
+        for case in TABLE2_CASES:
+            _cluster, src, dst = make_microbench_meshes(
+                case.send_mesh, case.recv_mesh
+            )
+            task = ReshardingTask(
+                TENSOR_SHAPE, src, case.send_spec, dst, case.recv_spec,
+                dtype=np.float32,
+            )
+            for s in strategies:
+                yield f"fig6[{case.name}:{s}]", task, s
+    elif workload == "fig7":
+        from .experiments.fig7 import workloads
+
+        for model_name, spec in workloads().items():
+            for b in spec.boundaries:
+                src_mesh = spec.stage_meshes[b.src_stage]
+                dst_mesh = spec.stage_meshes[b.dst_stage]
+                dtype = np.float16 if b.dtype == "fp16" else np.float32
+                fwd = ReshardingTask(
+                    b.shape, src_mesh, b.src_spec, dst_mesh, b.dst_spec,
+                    dtype=dtype,
+                )
+                bwd = ReshardingTask(
+                    b.shape, dst_mesh, b.dst_spec, src_mesh, b.src_spec,
+                    dtype=dtype,
+                )
+                for s in strategies:
+                    yield f"fig7[{model_name}:{b.label}:fwd:{s}]", fwd, s
+                    yield f"fig7[{model_name}:{b.label}:bwd:{s}]", bwd, s
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+
+
+def _analyze_fig7_schedules(verbose: bool) -> bool:
+    """Statically analyze the pipeline schedules of the Table 3 models."""
+    from .analysis import analyze_pipeline_schedule
+    from .experiments.fig7 import workloads
+    from .pipeline.stage import CommEdge, PipelineJob
+
+    ok = True
+    for model_name, spec in workloads().items():
+        # Zero-time edges: the analyzer only needs the comm topology.
+        edges = [
+            CommEdge(
+                src_stage=b.src_stage, dst_stage=b.dst_stage,
+                fwd_time=0.0, bwd_time=0.0, label=b.label,
+            )
+            for b in spec.boundaries
+        ]
+        job = PipelineJob(
+            stages=spec.profiles, edges=edges,
+            n_microbatches=spec.n_microbatches,
+        )
+        for schedule in ("1f1b", "eager_1f1b", "gpipe"):
+            report = analyze_pipeline_schedule(
+                schedule, job.n_stages, spec.n_microbatches, job=job
+            )
+            report.subject = f"fig7[{model_name}:{schedule}]"
+            ok = _print_analysis(report, verbose) and ok
+    return ok
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .core.task import ReshardingTask
+    from .experiments.common import make_microbench_meshes
+
+    ok = True
+    ran = False
+    if args.plan_json:
+        from .analysis import check_plan, load_plan_fixture
+
+        for path in args.plan_json:
+            fixture = load_plan_fixture(path)
+            report = check_plan(fixture.plan)
+            report.subject = path
+            ok = _print_analysis(report, args.verbose) and ok
+        ran = True
+    if args.workload:
+        for workload in args.workload:
+            for label, task, strategy in _golden_reshardings(workload):
+                ok = _analyze_compiled(task, strategy, label, args.verbose) and ok
+            if workload == "fig7":
+                ok = _analyze_fig7_schedules(args.verbose) and ok
+        ran = True
+    if args.pipeline:
+        from .analysis import analyze_pipeline_schedule
+
+        report = analyze_pipeline_schedule(
+            args.pipeline, args.stages, args.microbatches
+        )
+        ok = _print_analysis(report, args.verbose) and ok
+        ran = True
+    if args.shape:
+        if not (args.src_spec and args.dst_spec):
+            print("--shape needs --src-spec and --dst-spec", file=sys.stderr)
+            return 2
+        _cluster, src, dst = make_microbench_meshes(args.src_mesh, args.dst_mesh)
+        task = ReshardingTask(
+            args.shape, src, args.src_spec, dst, args.dst_spec, dtype=np.float32
+        )
+        label = f"{args.src_spec}->{args.dst_spec}:{args.strategy}"
+        ok = _analyze_compiled(task, args.strategy, label, args.verbose) and ok
+        ran = True
+    if not ran:
+        print(
+            "nothing to analyze: pass --workload, --plan-json, --pipeline, "
+            "or --shape/--src-spec/--dst-spec",
+            file=sys.stderr,
+        )
+        return 2
+    return 0 if ok else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_paths
+
+    report = lint_paths(args.paths, codes=args.codes)
+    if report.diagnostics:
+        for diag in report.diagnostics:
+            print(diag.format())
+        print(f"{len(report.diagnostics)} finding(s)")
+        return 1
+    print(f"repro-lint: clean ({' '.join(args.paths)})")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import ablations, fig3, fig5, fig6, fig7, fig8, fig9, table1
     from .experiments.common import format_markdown
@@ -321,6 +496,60 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--output", default="EXPERIMENTS.md")
     rep.add_argument("--quiet", action="store_true")
     rep.set_defaults(fn=cmd_report)
+
+    a = sub.add_parser(
+        "analyze",
+        help="statically verify plans and pipeline schedules",
+        description=(
+            "Run the static analyzer (coverage, write races, dependency "
+            "sanity, re-rooting consistency, deadlock, stage memory) over "
+            "compiled plans or hand-written plan JSON; exit 1 on any "
+            "ERROR diagnostic."
+        ),
+    )
+    a.add_argument(
+        "--workload",
+        action="append",
+        choices=["fig5", "fig6", "fig7"],
+        help="analyze one figure's golden plans (repeatable)",
+    )
+    a.add_argument("--plan-json", action="append", metavar="PATH",
+                   help="analyze a plan fixture JSON file (repeatable)")
+    a.add_argument("--pipeline", choices=["gpipe", "1f1b", "eager_1f1b"],
+                   help="analyze a named pipeline schedule")
+    a.add_argument("--stages", type=int, default=4)
+    a.add_argument("--microbatches", type=int, default=8)
+    a.add_argument("--shape", type=_parse_ints,
+                   help="compile and analyze one resharding (with "
+                        "--src-spec/--dst-spec, reshard-style)")
+    a.add_argument("--src-spec")
+    a.add_argument("--dst-spec")
+    a.add_argument("--src-mesh", type=_parse_ints, default=(2, 4))
+    a.add_argument("--dst-mesh", type=_parse_ints, default=(2, 4))
+    a.add_argument(
+        "--strategy",
+        default="broadcast",
+        choices=["send_recv", "allgather", "broadcast", "auto"],
+    )
+    a.add_argument("--verbose", action="store_true",
+                   help="print diagnostics even for clean subjects")
+    a.set_defaults(fn=cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="repro-lint: ban nondeterminism in repo code",
+        description=(
+            "AST lint for determinism leaks: wall-clock calls (L001), "
+            "unseeded RNG (L002), set iteration (L003).  Exit 1 on any "
+            "finding; waive single lines with "
+            "'# repro-lint: allow[CODE] reason'."
+        ),
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to lint (recursive)")
+    lint.add_argument("--codes", nargs="+", metavar="CODE",
+                      help="restrict to these codes (e.g. L001 L003)")
+    lint.set_defaults(fn=cmd_lint)
     return p
 
 

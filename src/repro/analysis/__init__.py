@@ -1,0 +1,59 @@
+"""Static analysis: plan verification, deadlock detection, determinism lint.
+
+The dynamic checkers (:mod:`repro.core.verify_data`, the runtime kernel)
+catch bad plans by executing them; this package proves properties
+*before* execution:
+
+* :func:`check_plan` — write races, coverage gaps, dependency sanity,
+  sender authority, re-rooting consistency of a
+  :class:`~repro.core.plan.CommPlan` (``P001``-``P008``);
+* :func:`check_plan_deadlock` / :func:`check_stage_orders_deadlock` —
+  wait-for cycles over schedule gating and kernel channel acquisitions
+  (``D001``/``D002``);
+* :func:`analyze_pipeline_schedule` — static in-flight activation
+  bounds and structural checks of 1F1B-family schedules
+  (``S001``/``S002``);
+* :func:`lint_paths` — AST rules banning nondeterminism in the repo's
+  own code (``L001``-``L003``).
+
+Entry points: the compiler's ``validate`` pass, ``python -m repro
+analyze`` and ``python -m repro lint``, and CI's lint-and-analyze job.
+See ``docs/static_analysis.md`` for the diagnostic catalog.
+"""
+
+from .deadlock import (
+    check_plan_deadlock,
+    check_stage_orders_deadlock,
+    find_cycle,
+    schedule_gating_preds,
+)
+from .diagnostics import CATALOG, AnalysisReport, Diagnostic, Severity
+from .lint import lint_file, lint_paths, lint_source
+from .loader import PlanFixture, load_plan_fixture, plan_from_dict
+from .plan_checker import check_plan
+from .schedule_analysis import (
+    analyze_pipeline_schedule,
+    check_stage_orders,
+    static_peak_inflight,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "CATALOG",
+    "check_plan",
+    "check_plan_deadlock",
+    "check_stage_orders",
+    "check_stage_orders_deadlock",
+    "find_cycle",
+    "schedule_gating_preds",
+    "analyze_pipeline_schedule",
+    "static_peak_inflight",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "PlanFixture",
+    "load_plan_fixture",
+    "plan_from_dict",
+]

@@ -1,0 +1,162 @@
+"""Load hand-written plans from JSON — the bad-plan fixture format.
+
+Known-bad plans cannot be built through :meth:`CommPlan.add` (it rejects
+out-of-sequence op ids and unknown deps at construction time), and they
+should not be Python code that silently "fixes itself" when the IR
+evolves.  So regression fixtures live as data under
+``tests/fixtures/bad_plans/`` and are materialized here, bypassing the
+builder invariants on purpose: the static analyzer is the component
+under test, and it must reject these plans with the exact documented
+diagnostic codes listed in each fixture's ``expect`` field.
+
+Schema (all sizes in elements; nbytes defaults to fp32)::
+
+    {
+      "description": "...",
+      "expect": ["P001"],                      // codes that must fire
+      "cluster": {"n_hosts": 4, "devices_per_host": 2},
+      "shape": [8, 8],
+      "src": {"hosts": [0, 1], "spec": "S0R"},
+      "dst": {"hosts": [2, 3], "spec": "RS1"},
+      "granularity": "intersection",           // optional
+      "ops": [
+        {"kind": "send", "id": 0, "task": 0, "region": [[0, 4], [0, 8]],
+         "sender": 0, "receiver": 4, "deps": [1]},
+        {"kind": "broadcast", ..., "receivers": [4, 5]},
+        {"kind": "scatter", ..., "receivers": [4, 5]},
+        {"kind": "allgather", ..., "devices": [4, 5]}
+      ],
+      "schedule": {"assignment": {"0": 1}, "order": [0]},   // optional
+      "fallbacks": [{"task": 0, "from_host": 0, "to_host": 1,
+                     "reason": "sender-host-down"}]          // optional
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from ..core.mesh import DeviceMesh
+from ..core.plan import (
+    AllGatherOp,
+    BroadcastOp,
+    CommOp,
+    CommPlan,
+    FallbackRecord,
+    ScatterOp,
+    SendOp,
+)
+from ..core.slices import region_size
+from ..core.task import ReshardingTask
+from ..scheduling.problem import Schedule
+from ..sim.cluster import Cluster, ClusterSpec
+
+__all__ = ["PlanFixture", "load_plan_fixture", "plan_from_dict"]
+
+
+@dataclass
+class PlanFixture:
+    """One parsed fixture: the plan plus what the analyzer must say."""
+
+    plan: CommPlan
+    expect: tuple[str, ...]
+    description: str
+    path: str = ""
+
+
+def _region(raw: Any) -> tuple[tuple[int, int], ...]:
+    return tuple((int(lo), int(hi)) for lo, hi in raw)
+
+
+def _op_from_dict(raw: dict[str, Any], itemsize: int) -> CommOp:
+    region = _region(raw["region"])
+    common: dict[str, Any] = dict(
+        op_id=int(raw["id"]),
+        unit_task_id=int(raw.get("task", -1)),
+        region=region,
+        nbytes=float(raw.get("nbytes", region_size(region) * itemsize)),
+        deps=tuple(int(d) for d in raw.get("deps", ())),
+    )
+    kind = raw["kind"]
+    if kind == "send":
+        return SendOp(
+            sender=int(raw["sender"]), receiver=int(raw["receiver"]), **common
+        )
+    if kind == "broadcast":
+        return BroadcastOp(
+            sender=int(raw["sender"]),
+            receivers=tuple(int(r) for r in raw["receivers"]),
+            n_chunks=int(raw.get("n_chunks", 1)),
+            **common,
+        )
+    if kind == "scatter":
+        return ScatterOp(
+            sender=int(raw["sender"]),
+            receivers=tuple(int(r) for r in raw["receivers"]),
+            **common,
+        )
+    if kind == "allgather":
+        return AllGatherOp(
+            devices=tuple(int(d) for d in raw["devices"]), **common
+        )
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+def plan_from_dict(raw: dict[str, Any]) -> CommPlan:
+    """Materialize a CommPlan from fixture data, builder checks bypassed."""
+    spec = ClusterSpec(**raw.get("cluster", {}))
+    cluster = Cluster(spec)
+    src = DeviceMesh.from_hosts(cluster, [int(h) for h in raw["src"]["hosts"]])
+    dst = DeviceMesh.from_hosts(cluster, [int(h) for h in raw["dst"]["hosts"]])
+    task = ReshardingTask(
+        tuple(int(s) for s in raw["shape"]),
+        src,
+        raw["src"]["spec"],
+        dst,
+        raw["dst"]["spec"],
+        dtype=np.float32,
+    )
+    plan = CommPlan(
+        task=task,
+        strategy=str(raw.get("strategy", "fixture")),
+        granularity=str(raw.get("granularity", "intersection")),
+        data_complete=bool(raw.get("data_complete", True)),
+    )
+    itemsize = task.dtype.itemsize
+    # Assign directly: fixtures must be able to express out-of-sequence
+    # op ids, dangling deps, and forward deps that plan.add() rejects.
+    plan.ops = [_op_from_dict(op, itemsize) for op in raw.get("ops", ())]
+    if "schedule" in raw:
+        sched = raw["schedule"]
+        plan.schedule = Schedule(
+            assignment={int(k): int(v) for k, v in sched["assignment"].items()},
+            order=tuple(int(t) for t in sched["order"]),
+            algorithm=str(sched.get("algorithm", "fixture")),
+        )
+    for fb in raw.get("fallbacks", ()):
+        plan.fallbacks.append(
+            FallbackRecord(
+                unit_task_id=int(fb["task"]),
+                from_host=int(fb["from_host"]),
+                to_host=int(fb["to_host"]),
+                reason=str(fb.get("reason", "fixture")),
+            )
+        )
+    return plan
+
+
+def load_plan_fixture(path: Union[str, Path]) -> PlanFixture:
+    """Read one ``tests/fixtures/bad_plans/*.json`` fixture."""
+    p = Path(path)
+    raw = json.loads(p.read_text(encoding="utf-8"))
+    return PlanFixture(
+        plan=plan_from_dict(raw),
+        expect=tuple(str(c) for c in raw.get("expect", ())),
+        description=str(raw.get("description", "")),
+        path=str(p),
+    )

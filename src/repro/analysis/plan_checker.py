@@ -1,0 +1,511 @@
+"""Static verification of :class:`~repro.core.plan.CommPlan` objects.
+
+:func:`check_plan` proves properties of a compiled plan *without running
+it* and returns an :class:`~repro.analysis.diagnostics.AnalysisReport`
+instead of raising on the first problem.  It subsumes the original
+coverage validator (:func:`repro.core.validate.verify_plan_coverage` is
+now a thin raising wrapper over it) and adds the checks that only became
+possible once plans carried a schedule and fallback records:
+
+* **write races** (``P001``): two ops delivering overlapping regions to
+  the same receiver with no ordering between them — neither a transitive
+  op dependency nor the schedule's host-gating order decides who writes
+  last, so the destination buffer contents depend on network timing;
+* **coverage** (``P002``): every destination device's tile must be fully
+  covered by delivered regions (counting local reuse for intra-mesh
+  plans);
+* **dependency sanity** (``P003``/``P004``): deps must name real,
+  earlier ops and be acyclic;
+* **sender authority** (``P005``): an op's sender must be a source-mesh
+  device holding the region it sends; all-gather groups must be fed by a
+  preceding scatter of the same region;
+* **re-rooting consistency** (``P006``): the schedule must assign each
+  unit task a host that holds a replica, no emitted op may send from a
+  host that :class:`~repro.compiler.passes.FaultRewritePass` re-rooted
+  its unit task *away from*, and every fallback record must point at a
+  host that actually holds a replica (the emitter is otherwise free to
+  pick any replica host — greedy sender selection is load-, not
+  schedule-, driven);
+* **schedule/plan agreement** (``P007``) and **op well-formedness**
+  (``P008``).
+
+The deadlock analysis over the same plan (``D001``) lives in
+:mod:`repro.analysis.deadlock` and is folded into :func:`check_plan`'s
+report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.plan import (
+    AllGatherOp,
+    BroadcastOp,
+    CommOp,
+    CommPlan,
+    ScatterOp,
+    SendOp,
+)
+from ..core.slices import Region, region_intersection, region_shape, region_size
+from ..core.task import UnitCommTask
+from .deadlock import check_plan_deadlock, schedule_gating_preds
+from .diagnostics import AnalysisReport, Severity
+
+__all__ = ["check_plan", "Delivery"]
+
+
+class Delivery:
+    """One region an op places on one receiver (a potential write)."""
+
+    __slots__ = ("op_id", "task_id", "receiver", "region")
+
+    def __init__(self, op_id: int, task_id: int, receiver: int, region: Region):
+        self.op_id = op_id
+        self.task_id = task_id
+        self.receiver = receiver
+        self.region = region
+
+
+def _op_sender(op: CommOp) -> Optional[int]:
+    if isinstance(op, (SendOp, BroadcastOp, ScatterOp)):
+        return op.sender
+    return None
+
+
+def _check_structure(plan: CommPlan, report: AnalysisReport) -> None:
+    rank = len(plan.task.shape)
+    seen_ids: set[int] = set()
+    for pos, op in enumerate(plan.ops):
+        if op.op_id in seen_ids:
+            report.add(
+                "P008",
+                f"duplicate op id {op.op_id} (list position {pos})",
+                op_ids=(op.op_id,),
+            )
+        seen_ids.add(op.op_id)
+        if op.nbytes < 0:
+            report.add(
+                "P008",
+                f"op {op.op_id}: negative byte count {op.nbytes}",
+                op_ids=(op.op_id,),
+            )
+        if len(op.region) != rank:
+            report.add(
+                "P008",
+                f"op {op.op_id}: region rank {len(op.region)} does not match "
+                f"tensor rank {rank}",
+                op_ids=(op.op_id,),
+            )
+
+
+def _check_deps(plan: CommPlan, report: AnalysisReport) -> None:
+    known = {op.op_id for op in plan.ops}
+    for op in plan.ops:
+        for dep in op.deps:
+            if dep not in known:
+                report.add(
+                    "P003",
+                    f"op {op.op_id}: dependency {dep} references unknown op",
+                    op_ids=(op.op_id,),
+                )
+            elif dep >= op.op_id:
+                report.add(
+                    "P004",
+                    f"op {op.op_id}: dependency {dep} does not precede it",
+                    op_ids=(op.op_id, dep),
+                )
+    # Cycle detection over the dep graph (op ids may be arbitrary in
+    # hand-built plans, so "dep < op_id" above does not already prove
+    # acyclicity — and we want the cycle itself as a witness).
+    deps_of = {op.op_id: tuple(d for d in op.deps if d in known) for op in plan.ops}
+    color: dict[int, int] = {}  # 0/absent=white, 1=on stack, 2=done
+    stack: list[int] = []
+
+    def visit(start: int) -> Optional[list[int]]:
+        todo: list[tuple[int, int]] = [(start, 0)]
+        while todo:
+            node, i = todo.pop()
+            if i == 0:
+                if color.get(node) == 2:
+                    continue
+                color[node] = 1
+                stack.append(node)
+            children = deps_of.get(node, ())
+            if i < len(children):
+                todo.append((node, i + 1))
+                child = children[i]
+                if color.get(child) == 1:
+                    cut = stack.index(child)
+                    return stack[cut:] + [child]
+                if color.get(child) != 2:
+                    todo.append((child, 0))
+            else:
+                color[node] = 2
+                stack.pop()
+        return None
+
+    for op in plan.ops:
+        if color.get(op.op_id) is None:
+            cycle = visit(op.op_id)
+            if cycle is not None:
+                report.add(
+                    "P004",
+                    "dependency cycle among ops "
+                    + " -> ".join(str(i) for i in cycle),
+                    op_ids=tuple(dict.fromkeys(cycle)),
+                    witness=tuple(f"op{i}" for i in cycle),
+                )
+                return  # one witness is enough; deeper cycles repeat it
+
+
+def _check_sender_holds(plan: CommPlan, op: CommOp, report: AnalysisReport) -> bool:
+    sender = _op_sender(op)
+    if sender is None:
+        return True
+    task = plan.task
+    if sender not in task.src_mesh.devices:
+        report.add(
+            "P005",
+            f"op {op.op_id}: sender {sender} is not a source-mesh device",
+            op_ids=(op.op_id,),
+        )
+        return False
+    holder = task.src_grid.device_region(sender)
+    if len(op.region) != len(holder):
+        return False  # rank mismatch already reported as P008
+    if region_intersection(holder, op.region) != op.region:
+        report.add(
+            "P005",
+            f"op {op.op_id}: sender {sender} holds {holder}, not {op.region}",
+            op_ids=(op.op_id,),
+        )
+        return False
+    return True
+
+
+def _collect_deliveries(
+    plan: CommPlan, report: AnalysisReport
+) -> tuple[list[Delivery], dict[int, list[Region]]]:
+    """Walk ops in list order; return write records and coverage regions.
+
+    Scatter ops place flat (non-box) parts, so they feed the sender-
+    authority and race analyses via their full region but are excluded
+    from coverage (their matching all-gather delivers the whole region).
+    Mirrors the op semantics in :mod:`repro.core.data`.
+    """
+    task = plan.task
+    dst = set(task.dst_mesh.devices)
+    deliveries: list[Delivery] = []
+    coverage: dict[int, list[Region]] = {d: [] for d in task.dst_mesh.devices}
+    scattered: dict[tuple[int, Region], set[int]] = {}
+
+    for op in plan.ops:
+        ok = _check_sender_holds(plan, op, report)
+        if isinstance(op, SendOp):
+            if op.receiver in dst:
+                deliveries.append(
+                    Delivery(op.op_id, op.unit_task_id, op.receiver, op.region)
+                )
+                if ok:
+                    coverage[op.receiver].append(op.region)
+        elif isinstance(op, BroadcastOp):
+            for r in op.receivers:
+                if r in dst:
+                    deliveries.append(
+                        Delivery(op.op_id, op.unit_task_id, r, op.region)
+                    )
+                    if ok:
+                        coverage[r].append(op.region)
+        elif isinstance(op, ScatterOp):
+            for r in op.receivers:
+                scattered.setdefault((op.op_id, op.region), set()).add(r)
+                if r in dst:
+                    deliveries.append(
+                        Delivery(op.op_id, op.unit_task_id, r, op.region)
+                    )
+        elif isinstance(op, AllGatherOp):
+            feeders = [
+                devs
+                for (dep_id, region), devs in scattered.items()
+                if region == op.region and dep_id in op.deps
+            ]
+            fed: set[int] = set().union(*feeders) if feeders else set()
+            if not feeders or not set(op.devices) <= fed:
+                report.add(
+                    "P005",
+                    f"op {op.op_id}: all-gather group not fully fed by a "
+                    "preceding scatter of the same region",
+                    op_ids=(op.op_id,),
+                )
+            for r in op.devices:
+                if r in dst:
+                    deliveries.append(
+                        Delivery(op.op_id, op.unit_task_id, r, op.region)
+                    )
+                    coverage[r].append(op.region)
+        else:
+            report.add(
+                "P008",
+                f"op {op.op_id}: unknown op type {type(op).__name__}",
+                op_ids=(op.op_id,),
+            )
+    return deliveries, coverage
+
+
+def _check_coverage(
+    plan: CommPlan, coverage: dict[int, list[Region]], report: AnalysisReport
+) -> None:
+    task = plan.task
+    intra = set(task.src_mesh.devices) & set(task.dst_mesh.devices)
+    for dev in task.dst_mesh.devices:
+        want = task.dst_grid.device_region(dev)
+        got = np.zeros(region_shape(want), dtype=bool)
+        regions = list(coverage[dev])
+        if dev in intra:
+            regions.append(task.src_grid.device_region(dev))
+        for region in regions:
+            if len(region) != len(want):
+                continue  # rank mismatch already reported as P008
+            inter = region_intersection(region, want)
+            if inter is None:
+                continue
+            sl = tuple(
+                slice(i0 - w0, i1 - w0) for (i0, i1), (w0, _) in zip(inter, want)
+            )
+            got[sl] = True
+        if not got.all():
+            missing = int(region_size(want) - got.sum())
+            report.add(
+                "P002",
+                f"device {dev}: {missing} of {region_size(want)} elements of "
+                f"tile {want} are never delivered",
+            )
+
+
+class _OrderOracle:
+    """Decides whether one op is guaranteed to precede another.
+
+    Two sources of ordering: transitive op dependencies, and the
+    schedule's host-gating (the executor releases a unit task only after
+    every earlier-ordered task sharing one of its hosts finished — so
+    task-level gating orders *all* ops of the two tasks).
+    """
+
+    def __init__(self, plan: CommPlan, unit_tasks: list[UnitCommTask]) -> None:
+        known = {op.op_id for op in plan.ops}
+        self._deps_of = {
+            op.op_id: tuple(d for d in op.deps if d in known) for op in plan.ops
+        }
+        self._dep_ancestors: dict[int, frozenset[int]] = {}
+        self._task_of = {op.op_id: op.unit_task_id for op in plan.ops}
+        self._task_ancestors: dict[int, frozenset[int]] = {}
+        preds = (
+            schedule_gating_preds(plan, unit_tasks)
+            if plan.schedule is not None
+            else {}
+        )
+        self._task_preds: dict[int, set[int]] = preds
+
+    def _ancestors(
+        self,
+        node: int,
+        edges: "dict[int, tuple[int, ...]] | dict[int, set[int]]",
+        memo: dict[int, frozenset[int]],
+    ) -> frozenset[int]:
+        found = memo.get(node)
+        if found is not None:
+            return found
+        memo[node] = frozenset()  # cycle guard; cycles reported elsewhere
+        out: set[int] = set()
+        for p in edges.get(node, ()):
+            out.add(p)
+            out |= self._ancestors(p, edges, memo)
+        memo[node] = frozenset(out)
+        return memo[node]
+
+    def ordered(self, a: "Delivery", b: "Delivery") -> bool:
+        """True when the plan guarantees a and b never write concurrently."""
+        if a.op_id == b.op_id:
+            return True
+        if a.op_id in self._ancestors(b.op_id, self._deps_of, self._dep_ancestors):
+            return True
+        if b.op_id in self._ancestors(a.op_id, self._deps_of, self._dep_ancestors):
+            return True
+        ta, tb = a.task_id, b.task_id
+        if ta == tb or ta == -1 or tb == -1 or not self._task_preds:
+            return False
+        if ta in self._ancestors(tb, self._task_preds, self._task_ancestors):
+            return True
+        if tb in self._ancestors(ta, self._task_preds, self._task_ancestors):
+            return True
+        return False
+
+
+def _check_races(
+    plan: CommPlan,
+    deliveries: list[Delivery],
+    unit_tasks: list[UnitCommTask],
+    report: AnalysisReport,
+) -> None:
+    oracle = _OrderOracle(plan, unit_tasks)
+    by_receiver: dict[int, list[Delivery]] = {}
+    for d in deliveries:
+        by_receiver.setdefault(d.receiver, []).append(d)
+    reported: set[tuple[int, int]] = set()
+    for recv in sorted(by_receiver):
+        writes = by_receiver[recv]
+        for i in range(len(writes)):
+            for j in range(i + 1, len(writes)):
+                a, b = writes[i], writes[j]
+                if a.op_id == b.op_id:
+                    continue
+                pair = (min(a.op_id, b.op_id), max(a.op_id, b.op_id))
+                if pair in reported:
+                    continue
+                overlap = (
+                    region_intersection(a.region, b.region)
+                    if len(a.region) == len(b.region)
+                    else None
+                )
+                if overlap is None:
+                    continue
+                if oracle.ordered(a, b):
+                    continue
+                reported.add(pair)
+                report.add(
+                    "P001",
+                    f"ops {a.op_id} and {b.op_id} both write {overlap} on "
+                    f"device {recv} with no ordering between them",
+                    op_ids=pair,
+                    task_ids=tuple(
+                        sorted({t for t in (a.task_id, b.task_id) if t != -1})
+                    ),
+                )
+
+
+def _check_schedule_consistency(
+    plan: CommPlan, unit_tasks: list[UnitCommTask], report: AnalysisReport
+) -> None:
+    task = plan.task
+    ut_by_id = {ut.task_id: ut for ut in unit_tasks}
+    schedule = plan.schedule
+    #: hosts each unit task was re-rooted away from (declared dead)
+    rerooted_from: dict[int, set[int]] = {}
+    for fb in plan.fallbacks:
+        rerooted_from.setdefault(fb.unit_task_id, set()).add(fb.from_host)
+
+    if schedule is not None:
+        if sorted(schedule.order) != sorted(schedule.assignment):
+            report.add(
+                "P007",
+                "schedule order is not a permutation of its assignment keys",
+            )
+        for tid in sorted(schedule.assignment):
+            ut = ut_by_id.get(tid)
+            if ut is None:
+                report.add(
+                    "P007",
+                    f"schedule assigns unknown unit task {tid}",
+                    task_ids=(tid,),
+                )
+                continue
+            host = schedule.assignment[tid]
+            if ut.receivers and host not in task.sender_hosts(ut):
+                report.add(
+                    "P006",
+                    f"unit task {tid}: assigned sender host {host} holds no "
+                    f"replica (options: {sorted(task.sender_hosts(ut))})",
+                    task_ids=(tid,),
+                )
+
+    for op in plan.ops:
+        tid = op.unit_task_id
+        if tid == -1:
+            continue
+        if tid not in ut_by_id:
+            report.add(
+                "P007",
+                f"op {op.op_id}: unit task {tid} does not exist at "
+                f"{plan.granularity!r} granularity",
+                op_ids=(op.op_id,),
+                task_ids=(tid,),
+            )
+            continue
+        sender = _op_sender(op)
+        if sender is not None and sender in task.src_mesh.devices:
+            host = task.cluster.host_of(sender)
+            if host in rerooted_from.get(tid, ()):
+                report.add(
+                    "P006",
+                    f"op {op.op_id}: sends from host {host}, which the "
+                    f"fault rewrite re-rooted unit task {tid} away from",
+                    op_ids=(op.op_id,),
+                    task_ids=(tid,),
+                )
+        if schedule is not None and tid not in schedule.assignment:
+            report.add(
+                "P007",
+                f"op {op.op_id}: unit task {tid} missing from the schedule",
+                op_ids=(op.op_id,),
+                task_ids=(tid,),
+            )
+
+    # Fallback records must describe rewrites that are actually possible.
+    for fb in plan.fallbacks:
+        ut = ut_by_id.get(fb.unit_task_id)
+        if ut is None:
+            report.add(
+                "P006",
+                f"fallback record names unknown unit task {fb.unit_task_id}",
+                task_ids=(fb.unit_task_id,),
+            )
+            continue
+        if fb.to_host == fb.from_host:
+            report.add(
+                "P006",
+                f"unit task {fb.unit_task_id}: fallback re-roots host "
+                f"{fb.from_host} onto itself",
+                task_ids=(fb.unit_task_id,),
+            )
+        if fb.to_host not in task.sender_hosts(ut):
+            report.add(
+                "P006",
+                f"unit task {fb.unit_task_id}: fallback re-roots onto host "
+                f"{fb.to_host}, which holds no replica of {ut.region}",
+                task_ids=(fb.unit_task_id,),
+            )
+
+
+def check_plan(plan: CommPlan, deadlock: bool = True) -> AnalysisReport:
+    """Statically analyze ``plan``; never raises on plan defects.
+
+    Returns an :class:`AnalysisReport` whose ``ok`` is True iff the plan
+    is provably well-formed: no write races, full coverage, sane deps,
+    authorized senders, schedule-consistent (post-re-rooting) emission,
+    and no wait-for cycle.  Plans flagged ``data_complete=False``
+    (signalling baselines) get structural checks only.
+    """
+    report = AnalysisReport(subject=f"plan[{plan.strategy}]")
+    _check_structure(plan, report)
+    _check_deps(plan, report)
+
+    unit_tasks = plan.task.unit_tasks(plan.granularity)
+    _check_schedule_consistency(plan, unit_tasks, report)
+
+    if plan.data_complete:
+        deliveries, coverage = _collect_deliveries(plan, report)
+        _check_races(plan, deliveries, unit_tasks, report)
+        _check_coverage(plan, coverage, report)
+    else:
+        report.add(
+            "P008",
+            f"strategy {plan.strategy!r} plans carry no data by design; "
+            "coverage and race analyses skipped",
+            severity=Severity.INFO,
+        )
+
+    if deadlock:
+        report.extend(check_plan_deadlock(plan, unit_tasks))
+    return report

@@ -50,7 +50,7 @@ __all__ = [
 ]
 
 
-def _cluster_key(spec: ClusterSpec) -> tuple:
+def _cluster_key(spec: ClusterSpec) -> tuple[object, ...]:
     return (
         spec.n_hosts,
         spec.devices_per_host,
@@ -73,7 +73,7 @@ def _retry_key(policy: Optional[RetryPolicy]) -> str:
     return "none" if policy is None else repr(policy)
 
 
-def task_signature(task: "ReshardingTask") -> tuple:
+def task_signature(task: "ReshardingTask") -> tuple[object, ...]:
     """Canonical content key of one resharding task (no strategy/faults)."""
     return (
         task.shape,
@@ -88,7 +88,7 @@ def task_signature(task: "ReshardingTask") -> tuple:
 
 def plan_signature(
     task: "ReshardingTask",
-    strategy_key: tuple,
+    strategy_key: tuple[object, ...],
     faults: Optional[FaultSchedule] = None,
     retry_policy: Optional[RetryPolicy] = None,
     epoch: int = 0,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.plan import CommPlan
 from ..core.task import ReshardingTask
 from .pipeline import CompileContext, CompiledPlan, compile_resharding
 
@@ -63,7 +64,7 @@ class EdgeResharding:
             found = self._memo[direction] = compile_resharding(task, self.ctx)
         return found
 
-    def plan(self, direction: str):
+    def plan(self, direction: str) -> CommPlan:
         return self.compiled(direction).plan
 
     def time(self, direction: str) -> float:

@@ -31,29 +31,33 @@ work as rewriting passes over an IR:
     following the (possibly rewritten) schedule, with greedy
     load-balanced sender-device selection;
 ``validate``
-    optionally prove the emitted plan covers every destination tile
-    (:func:`repro.core.validate.verify_plan_coverage`); the execution-
-    aware counterpart (:func:`repro.core.verify_data.verify_delivery`)
-    is exposed as :meth:`CompiledPlan.certify` since it needs a timing
-    outcome.
+    optionally run the static analyzer (:func:`repro.analysis.check_plan`)
+    over the emitted plan — coverage, sender authority, write races,
+    schedule consistency, deadlock — aborting on any ERROR diagnostic;
+    the execution-aware counterpart
+    (:func:`repro.core.verify_data.verify_delivery`) is exposed as
+    :meth:`CompiledPlan.certify` since it needs a timing outcome.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from ..core.executor import TimingResult, simulate_plan
 from ..core.plan import CommPlan, FallbackRecord
 from ..core.task import ReshardingTask, UnitCommTask
-from ..core.validate import verify_plan_coverage
+from ..core.validate import PlanValidationError
 from ..scheduling import Schedule, SchedulingProblem
+from ..sim.faults import FaultSchedule
 from ..strategies.base import CommStrategy, LoadTracker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.diagnostics import AnalysisReport
     from .pipeline import CompileContext
 
 __all__ = [
+    "CompilerPass",
     "PlanState",
     "LowerPass",
     "SelectPass",
@@ -64,6 +68,16 @@ __all__ = [
     "DEFAULT_PASSES",
     "reroot_schedule",
 ]
+
+
+class CompilerPass(Protocol):
+    """One stage of the plan-compiler pipeline (structural type)."""
+
+    name: str
+
+    def run(self, state: "PlanState", ctx: "CompileContext") -> str:
+        """Mutate ``state``; return a one-line detail for diagnostics."""
+        ...
 
 
 @dataclass
@@ -81,6 +95,8 @@ class PlanState:
     timing: Optional[TimingResult] = None
     #: (strategy name, simulated latency) pairs from the select pass
     scores: list[tuple[str, float]] = field(default_factory=list)
+    #: structured diagnostics attached by the validate pass
+    analysis: Optional["AnalysisReport"] = None
 
     @property
     def n_ops(self) -> int:
@@ -91,7 +107,7 @@ def reroot_schedule(
     task: ReshardingTask,
     unit_tasks: list[UnitCommTask],
     schedule: Schedule,
-    faults,
+    faults: FaultSchedule,
     fallbacks: list[FallbackRecord],
 ) -> int:
     """Re-root scheduled sender hosts that are down at plan time.
@@ -272,7 +288,14 @@ class EmitPass:
 
 
 class ValidatePass:
-    """Statically prove the plan covers every destination tile."""
+    """Statically prove the plan is well-formed before anything runs.
+
+    Delegates to the analyzer (:func:`repro.analysis.check_plan`):
+    coverage, sender authority, dependency sanity, write races, schedule
+    consistency after re-rooting, and wait-for deadlock.  The structured
+    report is stashed on ``state.analysis``; any ERROR diagnostic aborts
+    compilation with every finding (stable code, op ids) in the message.
+    """
 
     name = "validate"
 
@@ -280,13 +303,25 @@ class ValidatePass:
         if not ctx.validate:
             return "skipped (ctx.validate=False)"
         assert state.plan is not None
+        # Imported here: repro.analysis imports repro.core (and builds
+        # plans via the fixture loader); importing it at module scope
+        # from inside the compiler would be circular.
+        from ..analysis.plan_checker import check_plan
+
+        report = check_plan(state.plan)
+        state.analysis = report
+        errors = report.errors
+        if errors:
+            raise PlanValidationError(
+                "\n".join(diag.format() for diag in errors)
+            )
         if not state.plan.data_complete:
             return f"skipped ({state.plan.strategy!r} plans carry no data)"
-        report = verify_plan_coverage(state.plan)
-        return f"coverage ok: {report.n_ops} op(s), {report.n_receivers} receiver(s)"
+        n_receivers = len(state.plan.task.dst_mesh.devices)
+        return f"coverage ok: {len(state.plan.ops)} op(s), {n_receivers} receiver(s)"
 
 
-def DEFAULT_PASSES() -> list:
+def DEFAULT_PASSES() -> list[CompilerPass]:
     """A fresh instance of the standard pass pipeline, in order."""
     return [
         LowerPass(),

@@ -28,7 +28,7 @@ from ..sim.faults import FaultSchedule, RetryPolicy
 from ..strategies import make_strategy
 from ..strategies.base import CommStrategy
 from .cache import PlanCache, default_plan_cache, plan_signature
-from .passes import DEFAULT_PASSES, PlanState
+from .passes import DEFAULT_PASSES, CompilerPass, PlanState
 
 __all__ = [
     "PassTiming",
@@ -81,16 +81,17 @@ class CompileDiagnostics:
 class PassManager:
     """Run a pass list over a :class:`PlanState`, instrumenting each pass."""
 
-    def __init__(self, passes: Optional[list] = None) -> None:
+    def __init__(self, passes: Optional[list[CompilerPass]] = None) -> None:
         self.passes = list(passes) if passes is not None else DEFAULT_PASSES()
 
     def run(self, state: PlanState, ctx: "CompileContext") -> CompileDiagnostics:
         diag = CompileDiagnostics()
         for p in self.passes:
             ops_before = state.n_ops
+            # repro-lint: allow[L001] pass-timing telemetry only; never read by planning
             t0 = time.perf_counter()
             detail = p.run(state, ctx) or ""
-            seconds = time.perf_counter() - t0
+            seconds = time.perf_counter() - t0  # repro-lint: allow[L001] telemetry only
             diag.passes.append(
                 PassTiming(
                     name=p.name,
@@ -123,7 +124,7 @@ class CompileContext:
     """
 
     strategy: Union[str, CommStrategy] = "broadcast"
-    strategy_kwargs: dict = field(default_factory=dict)
+    strategy_kwargs: dict[str, Any] = field(default_factory=dict)
     faults: Optional[FaultSchedule] = None
     retry_policy: Optional[RetryPolicy] = None
     cache: Any = USE_DEFAULT_CACHE
@@ -132,7 +133,7 @@ class CompileContext:
     #: pass names after which ``on_dump(name, state)`` fires
     dump_after: tuple[str, ...] = ()
     on_dump: Optional[Callable[[str, PlanState], None]] = None
-    passes: Optional[list] = None
+    passes: Optional[list[CompilerPass]] = None
 
     def resolved_strategy(self) -> CommStrategy:
         if isinstance(self.strategy, CommStrategy):

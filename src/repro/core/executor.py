@@ -142,7 +142,7 @@ def simulate_plan(
             ut = ut_by_id[tid]
             hosts = set(plan.task.receiver_hosts(ut))
             hosts.add(schedule.assignment[tid])
-            for h in hosts:
+            for h in sorted(hosts):
                 if h in last_on_host:
                     prev = last_on_host[h]
                     if prev != tid:
@@ -254,7 +254,7 @@ def simulate_plan(
                 if succ not in blocked and succ not in fully_failed:
                     blocked.add(succ)
                     frontier.append(succ)
-        for tid in blocked:
+        for tid in sorted(blocked):
             task_finish.pop(tid, None)
             failed_ops.update(op.op_id for op in task_ops.get(tid, ()))
 

@@ -6,16 +6,21 @@ every op reads data its sender actually holds.  It is the cheap
 counterpart of the NumPy data plane (`repro.core.data`): the data plane
 checks values, this checks *regions*, so it also works for plans too
 large to materialize.
+
+Since the static-analysis package landed, this module is a thin raising
+facade over :func:`repro.analysis.check_plan`: the full analyzer runs
+(coverage, sender authority, dependency sanity, write races, schedule
+consistency, deadlock) and any ERROR-severity diagnostic aborts with a
+:class:`PlanValidationError` listing every finding with its stable code.
+Callers that want the structured report instead of an exception should
+call :func:`repro.analysis.check_plan` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from .plan import AllGatherOp, BroadcastOp, CommPlan, ScatterOp, SendOp
-from .slices import Region, region_intersection, region_size, region_shape
+from .plan import CommPlan
 
 __all__ = ["PlanValidationError", "CoverageReport", "verify_plan_coverage"]
 
@@ -38,91 +43,26 @@ class CoverageReport:
         )
 
 
-def _check_sender_holds(plan: CommPlan, sender: int, region: Region, op_id: int) -> None:
-    task = plan.task
-    if sender not in task.src_mesh.devices:
-        raise PlanValidationError(
-            f"op {op_id}: sender {sender} is not a source-mesh device"
-        )
-    holder = task.src_grid.device_region(sender)
-    if region_intersection(holder, region) != region:
-        raise PlanValidationError(
-            f"op {op_id}: sender {sender} holds {holder}, not {region}"
-        )
-
-
 def verify_plan_coverage(plan: CommPlan) -> CoverageReport:
     """Raise :class:`PlanValidationError` unless the plan is complete.
 
-    Checks: (1) dependencies precede their dependents and scatter feeds
-    all-gather groups entirely; (2) every op's sender holds its region;
-    (3) after all ops, every destination device's tile is fully covered
-    by delivered regions (counting local reuse for intra-mesh plans).
+    Delegates to :func:`repro.analysis.check_plan`; the exception message
+    carries every ERROR diagnostic (code, op ids, message), one per line.
     """
-    task = plan.task
     if not plan.data_complete:
         raise PlanValidationError(
             f"strategy {plan.strategy!r} plans carry no data by design"
         )
-    delivered: dict[int, list[Region]] = {d: [] for d in task.dst_mesh.devices}
-    scattered: dict[tuple[int, Region], set[int]] = {}
+    # Imported here: repro.analysis builds plans (loader) and therefore
+    # imports repro.core; a module-level import would be circular.
+    from ..analysis.plan_checker import check_plan
 
-    for op in plan.ops:
-        for dep in op.deps:
-            if dep >= op.op_id:
-                raise PlanValidationError(
-                    f"op {op.op_id}: dependency {dep} does not precede it"
-                )
-        if isinstance(op, SendOp):
-            _check_sender_holds(plan, op.sender, op.region, op.op_id)
-            if op.receiver in delivered:
-                delivered[op.receiver].append(op.region)
-        elif isinstance(op, BroadcastOp):
-            _check_sender_holds(plan, op.sender, op.region, op.op_id)
-            for r in op.receivers:
-                if r in delivered:
-                    delivered[r].append(op.region)
-        elif isinstance(op, ScatterOp):
-            _check_sender_holds(plan, op.sender, op.region, op.op_id)
-            for r in op.receivers:
-                scattered.setdefault((op.op_id, op.region), set()).add(r)
-        elif isinstance(op, AllGatherOp):
-            feeders = [
-                devs
-                for (dep_id, region), devs in scattered.items()
-                if region == op.region and dep_id in op.deps
-            ]
-            if not feeders or not set(op.devices) <= set().union(*feeders):
-                raise PlanValidationError(
-                    f"op {op.op_id}: all-gather group not fully fed by a "
-                    "preceding scatter of the same region"
-                )
-            for r in op.devices:
-                if r in delivered:
-                    delivered[r].append(op.region)
-        else:
-            raise PlanValidationError(f"unknown op type {type(op).__name__}")
-
-    # Coverage check per destination device, on a boolean grid.
-    intra = set(task.src_mesh.devices) & set(task.dst_mesh.devices)
-    for dev in task.dst_mesh.devices:
-        want = task.dst_grid.device_region(dev)
-        got = np.zeros(region_shape(want), dtype=bool)
-        regions = list(delivered[dev])
-        if dev in intra:
-            regions.append(task.src_grid.device_region(dev))
-        for region in regions:
-            inter = region_intersection(region, want)
-            if inter is None:
-                continue
-            sl = tuple(
-                slice(i0 - w0, i1 - w0) for (i0, i1), (w0, _) in zip(inter, want)
-            )
-            got[sl] = True
-        if not got.all():
-            missing = int(region_size(want) - got.sum())
-            raise PlanValidationError(
-                f"device {dev}: {missing} of {region_size(want)} elements of "
-                f"tile {want} are never delivered"
-            )
-    return CoverageReport(n_ops=len(plan.ops), n_receivers=len(delivered))
+    report = check_plan(plan)
+    errors = report.errors
+    if errors:
+        raise PlanValidationError(
+            "\n".join(diag.format() for diag in errors)
+        )
+    return CoverageReport(
+        n_ops=len(plan.ops), n_receivers=len(plan.task.dst_mesh.devices)
+    )

@@ -73,9 +73,10 @@ def run_all(verbose: bool = True) -> list[ExperimentTable]:
     ]
     tables = []
     for eid, mod in modules:
-        t0 = time.time()
+        t0 = time.time()  # repro-lint: allow[L001] progress printing only
         table = mod.run()
         if verbose:
+            # repro-lint: allow[L001] progress printing only
             print(f"{eid} done in {time.time() - t0:.1f}s", file=sys.stderr)
         tables.append(table)
     return tables

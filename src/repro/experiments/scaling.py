@@ -97,8 +97,10 @@ def run_scheduler_scaling() -> ExperimentTable:
         )
         problem = SchedulingProblem.from_resharding(rt)
         naive = naive_schedule(problem)
+        # repro-lint: allow[L001] measures scheduler wall time, the quantity under study
         t0 = time.perf_counter()
         ours = randomized_greedy_schedule(problem)
+        # repro-lint: allow[L001] measures scheduler wall time, the quantity under study
         runtime = (time.perf_counter() - t0) * 1e3
         # cross-check claimed makespans
         assert evaluate(problem, ours.assignment, ours.order)[0] == ours.makespan

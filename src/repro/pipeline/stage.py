@@ -29,10 +29,16 @@ class StageProfile:
     params_bytes: float = 0.0
     #: activation bytes stored per in-flight micro-batch (per mesh)
     activation_bytes: float = 0.0
+    #: memory budget of the stage's mesh in bytes (0 = unbounded); the
+    #: static analyzer flags schedules whose in-flight activations
+    #: cannot fit (diagnostic S001)
+    memory_capacity: float = 0.0
 
     def __post_init__(self) -> None:
         if min(self.fwd_time, self.bwd_x_time, self.bwd_w_time) < 0:
             raise ValueError("stage times must be non-negative")
+        if self.memory_capacity < 0:
+            raise ValueError("memory capacity must be non-negative")
 
     @property
     def bwd_time(self) -> float:

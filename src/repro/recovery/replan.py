@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.plan_checker import check_plan
 from ..compiler import CompileContext, compile_resharding
 from ..core.data import apply_plan
 from ..core.executor import TimingResult, simulate_plan
@@ -313,8 +314,17 @@ def replan(
         if plan is compiled.plan:
             timing = compiled.ensure_timing()
         else:
-            # Trimming rewrote the op list; the compiled plan's memoized
-            # timing no longer describes what will execute.
+            # Trimming rewrote the op list: the compiled plan's memoized
+            # timing no longer describes what will execute, and the
+            # validate pass's clean bill of health no longer applies —
+            # re-prove the trimmed plan before trusting it with state.
+            trimmed_report = check_plan(plan)
+            if not trimmed_report.ok:
+                raise RecoveryError(
+                    f"stage {s}: trimmed recovery plan failed static "
+                    "analysis:\n"
+                    + "\n".join(d.format() for d in trimmed_report.errors)
+                )
             timing = simulate_plan(plan, faults=faults_now, retry_policy=retry_policy)
         src_tensor = DistributedTensor.from_global(
             _flat(src_mesh), STATE_SPEC, array

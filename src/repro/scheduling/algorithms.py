@@ -6,7 +6,7 @@
   by descending duration, assign each to the currently lightest sender
   host; order is the sorted order.
 * :func:`dfs_schedule` — depth-first search over (assignment, order)
-  decisions with lower-bound pruning and a wall-clock budget.
+  decisions with lower-bound pruning and a deterministic node budget.
 * :func:`randomized_greedy_schedule` — iterative rounds; each round
   picks, via random restarts, a conflict-free task set maximizing the
   number of devices involved.
@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import itertools
 import random
-import time
 from typing import Optional
 
 from .problem import Schedule, SchedulingProblem, evaluate
@@ -33,6 +32,11 @@ __all__ = [
     "ensemble_schedule",
     "brute_force_schedule",
 ]
+
+
+#: nominal DFS node expansions per "budget second" — fixes the search
+#: depth so schedules cannot vary with CPU speed
+_DFS_NODES_PER_SECOND = 200_000
 
 
 def _finalize(
@@ -94,10 +98,16 @@ def dfs_schedule(
     partial makespan and (b) for each host, its committed busy time plus
     the total duration of remaining tasks *forced* through it (single
     sender option or receiver membership) — the per-device load bound of
-    Eq. 4.  Search stops at ``time_budget`` seconds and returns the best
-    complete schedule found (falling back to LPT if none completed).
+    Eq. 4.  ``time_budget`` scales a fixed node-expansion budget
+    (``time_budget * 200_000`` branch expansions, roughly seconds on the
+    reference machine); a wall-clock deadline would make the chosen
+    schedule depend on CPU speed, so identical inputs would produce
+    different plans on different machines (repro-lint L001).  Search
+    stops at the budget and returns the best complete schedule found
+    (falling back to LPT if none completed).
     """
-    deadline = time.monotonic() + time_budget
+    node_budget = max(1, int(time_budget * _DFS_NODES_PER_SECOND))
+    nodes = 0
     best = initial_best if initial_best is not None else load_balance_schedule(problem)
     best_makespan = best.makespan
     tasks = {t.task_id: t for t in problem.tasks}
@@ -131,8 +141,9 @@ def dfs_schedule(
         return b
 
     def recurse(partial_makespan: float) -> None:
-        nonlocal best, best_makespan, out_of_time
-        if out_of_time or time.monotonic() > deadline:
+        nonlocal best, best_makespan, out_of_time, nodes
+        nodes += 1
+        if out_of_time or nodes > node_budget:
             out_of_time = True
             return
         if not remaining:

@@ -356,9 +356,11 @@ class Network:
             if best_port is None:  # pragma: no cover - defensive
                 break
             # Fix that share for every unassigned flow through best_port.
+            # Sorted: the per-port capacity subtractions below are float
+            # ops, so a set-order walk would round differently per run.
             fixed = [
                 fid
-                for fid in unassigned
+                for fid in sorted(unassigned)
                 if best_port in self._active[fid].ports
             ]
             for fid in fixed:

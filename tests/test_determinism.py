@@ -1,0 +1,109 @@
+"""Determinism pins: identical inputs must yield identical artifacts.
+
+The repo promises byte-identical plans and traces for identical inputs
+(that is what makes golden-number tests meaningful); ``repro-lint``
+bans the usual leaks statically, and these tests pin the dynamic side:
+compiling twice from scratch, simulating twice, and the DFS scheduler's
+node-expansion budget (which replaced a wall-clock deadline precisely
+so results cannot depend on CPU speed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompileContext, compile_resharding
+from repro.core.executor import simulate_plan
+from repro.core.mesh import DeviceMesh
+from repro.core.task import ReshardingTask
+from repro.scheduling.algorithms import dfs_schedule, load_balance_schedule
+from repro.scheduling.problem import SchedulingProblem
+from repro.sim.cluster import Cluster, ClusterSpec
+from repro.sim.faults import FaultSchedule
+
+
+def make_task(shape=(32, 32, 32), src_spec="RS0R", dst_spec="S0RR"):
+    c = Cluster(ClusterSpec(n_hosts=4, devices_per_host=4))
+    src = DeviceMesh.from_hosts(c, (0, 1))
+    dst = DeviceMesh.from_hosts(c, (2, 3))
+    return ReshardingTask(shape, src, src_spec, dst, dst_spec, dtype=np.float32)
+
+
+def compile_fresh(strategy="broadcast", faults=None):
+    return compile_resharding(
+        make_task(),
+        CompileContext(strategy=strategy, cache=None, faults=faults),
+    )
+
+
+def op_fingerprint(plan):
+    return [repr(op) for op in plan.ops]
+
+
+class TestCompileDeterminism:
+    @pytest.mark.parametrize("strategy", ["send_recv", "broadcast", "allgather"])
+    def test_two_fresh_compiles_emit_identical_plans(self, strategy):
+        a = compile_fresh(strategy).plan
+        b = compile_fresh(strategy).plan
+        assert op_fingerprint(a) == op_fingerprint(b)
+        if a.schedule is not None:
+            assert a.schedule.assignment == b.schedule.assignment
+            assert a.schedule.order == b.schedule.order
+
+    def test_auto_strategy_scores_identically(self):
+        a = compile_fresh("auto")
+        b = compile_fresh("auto")
+        assert a.plan.strategy == b.plan.strategy
+        assert op_fingerprint(a.plan) == op_fingerprint(b.plan)
+
+    def test_compile_under_faults_is_deterministic(self):
+        faults = FaultSchedule.generate(seed=3, n_hosts=4, horizon=1.0)
+        a = compile_fresh("broadcast", faults=faults).plan
+        b = compile_fresh("broadcast", faults=faults).plan
+        assert op_fingerprint(a) == op_fingerprint(b)
+        assert [repr(f) for f in a.fallbacks] == [repr(f) for f in b.fallbacks]
+
+
+class TestSimulationDeterminism:
+    def test_two_simulations_agree_exactly(self):
+        ra = simulate_plan(compile_fresh().plan)
+        rb = simulate_plan(compile_fresh().plan)
+        assert ra.total_time == rb.total_time
+        assert ra.op_finish == rb.op_finish
+        assert ra.task_finish == rb.task_finish
+        assert ra.bytes_cross_host == rb.bytes_cross_host
+
+    def test_simulation_under_faults_agrees_exactly(self):
+        faults = FaultSchedule.generate(seed=11, n_hosts=4, horizon=2.0)
+        ra = simulate_plan(compile_fresh().plan, faults=faults)
+        rb = simulate_plan(compile_fresh().plan, faults=faults)
+        assert ra.total_time == rb.total_time
+        assert ra.op_finish == rb.op_finish
+        assert ra.failed_ops == rb.failed_ops
+
+
+class TestDfsNodeBudget:
+    def make_problem(self):
+        return SchedulingProblem.from_resharding(make_task())
+
+    def test_same_budget_same_schedule(self):
+        p = self.make_problem()
+        a = dfs_schedule(p, time_budget=0.05)
+        b = dfs_schedule(p, time_budget=0.05)
+        assert a.assignment == b.assignment
+        assert a.order == b.order
+        assert a.makespan == b.makespan
+
+    def test_tiny_budget_still_returns_valid_schedule(self):
+        p = self.make_problem()
+        s = dfs_schedule(p, time_budget=1e-9)
+        task_ids = {t.task_id for t in p.tasks}
+        assert set(s.assignment) == task_ids
+        assert set(s.order) == task_ids
+
+    def test_budget_never_worse_than_load_balance(self):
+        p = self.make_problem()
+        baseline = load_balance_schedule(p)
+        s = dfs_schedule(p, time_budget=0.05)
+        assert s.makespan <= baseline.makespan + 1e-12

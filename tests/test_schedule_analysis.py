@@ -1,0 +1,197 @@
+"""Tests for the static pipeline-schedule analyzer.
+
+Pins the static in-flight bound to the paper's analytic warm-up depths
+(:func:`repro.pipeline.memory.analytic_peak_inflight`), and exercises
+the memory (S001), structure (S002), and deadlock (D002) rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    analyze_pipeline_schedule,
+    check_stage_orders,
+    check_stage_orders_deadlock,
+    static_peak_inflight,
+)
+from repro.pipeline.memory import analytic_peak_inflight
+from repro.pipeline.schedules import SCHEDULE_NAMES, Task, schedule_job
+from repro.pipeline.stage import CommEdge, PipelineJob, StageProfile
+
+
+def make_job(n_stages, activation_bytes=10.0, params_bytes=100.0, capacity=0.0):
+    stages = [
+        StageProfile(
+            stage_id=s,
+            fwd_time=1.0,
+            bwd_x_time=1.0,
+            bwd_w_time=1.0,
+            params_bytes=params_bytes,
+            activation_bytes=activation_bytes,
+            memory_capacity=capacity,
+        )
+        for s in range(n_stages)
+    ]
+    edges = [
+        CommEdge(src_stage=s, dst_stage=s + 1, fwd_time=0.0, bwd_time=0.0)
+        for s in range(n_stages - 1)
+    ]
+    return PipelineJob(stages=stages, edges=edges, n_microbatches=8)
+
+
+# ----------------------------------------------------------------------
+# The static bound equals the analytic warm-up depth (paper §4, Table 1)
+# ----------------------------------------------------------------------
+class TestStaticPeakMatchesAnalytic:
+    @pytest.mark.parametrize("schedule", SCHEDULE_NAMES)
+    @pytest.mark.parametrize("n_stages,n_microbatches",
+                             [(2, 4), (4, 8), (4, 16), (8, 8)])
+    def test_matches_analytic(self, schedule, n_stages, n_microbatches):
+        orders = schedule_job(schedule, n_stages, n_microbatches)
+        for stage, order in enumerate(orders):
+            assert static_peak_inflight(order) == analytic_peak_inflight(
+                schedule, stage, n_stages, n_microbatches
+            ), f"{schedule} stage {stage}"
+
+    @pytest.mark.parametrize("schedule", ["1f1b", "eager_1f1b"])
+    def test_backward_weight_delay_does_not_change_peak(self, schedule):
+        plain = schedule_job(schedule, 4, 8)
+        delayed = schedule_job(schedule, 4, 8, delay_bw_weight=True)
+        for order_a, order_b in zip(plain, delayed):
+            assert static_peak_inflight(order_a) == static_peak_inflight(order_b)
+
+    def test_gpipe_holds_everything(self):
+        orders = schedule_job("gpipe", 4, 8)
+        assert all(static_peak_inflight(o) == 8 for o in orders)
+
+
+# ----------------------------------------------------------------------
+# S001: memory capacity
+# ----------------------------------------------------------------------
+class TestMemoryBound:
+    def test_over_capacity_flagged(self):
+        # Stage 0 of 2-stage 1F1B holds 2 activations: 100 + 2*10 = 120.
+        job = make_job(2, capacity=110.0)
+        report = analyze_pipeline_schedule("1f1b", 2, 8, job=job)
+        assert "S001" in report.codes
+        flagged = {d.task_ids[0] for d in report.diagnostics if d.code == "S001"}
+        assert 0 in flagged
+
+    def test_fitting_capacity_is_clean(self):
+        job = make_job(2, capacity=200.0)
+        report = analyze_pipeline_schedule("1f1b", 2, 8, job=job)
+        assert report.ok, "\n".join(d.format() for d in report.diagnostics)
+
+    def test_zero_capacity_means_unbounded(self):
+        job = make_job(2, capacity=0.0)
+        report = analyze_pipeline_schedule("gpipe", 2, 8, job=job)
+        assert "S001" not in report.codes
+
+    def test_eager_needs_more_than_1f1b(self):
+        # Capacity sized so 1F1B stage 0 (2 in-flight) fits but
+        # eager-1F1B stage 0 (3 in-flight) does not.
+        job = make_job(2, capacity=125.0)
+        assert analyze_pipeline_schedule("1f1b", 2, 8, job=job).ok
+        report = analyze_pipeline_schedule("eager_1f1b", 2, 8, job=job)
+        assert "S001" in report.codes
+
+    def test_negative_capacity_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            StageProfile(stage_id=0, fwd_time=1.0, bwd_x_time=1.0,
+                         bwd_w_time=1.0, memory_capacity=-1.0)
+
+
+# ----------------------------------------------------------------------
+# S002: structural checks on explicit orders
+# ----------------------------------------------------------------------
+def T(kind, mb):
+    return Task(kind, mb)
+
+
+class TestStructure:
+    def test_duplicate_forward(self):
+        orders = [[T("F", 0), T("F", 0), T("B", 0)]]
+        report = check_stage_orders(orders, 1)
+        assert "S002" in report.codes
+
+    def test_missing_backward(self):
+        orders = [[T("F", 0), T("F", 1), T("B", 0)]]
+        report = check_stage_orders(orders, 2)
+        assert "S002" in report.codes
+
+    def test_backward_before_forward(self):
+        orders = [[T("B", 0), T("F", 0)]]
+        report = check_stage_orders(orders, 1)
+        assert "S002" in report.codes
+
+    def test_bw_before_bx(self):
+        orders = [[T("F", 0), T("Bw", 0), T("Bx", 0)]]
+        report = check_stage_orders(orders, 1)
+        assert "S002" in report.codes
+
+    def test_unknown_kind(self):
+        orders = [[T("F", 0), T("Z", 0), T("B", 0)]]
+        report = check_stage_orders(orders, 1)
+        assert "S002" in report.codes
+
+    def test_well_formed_split_backward_is_clean(self):
+        orders = [[T("F", 0), T("Bx", 0), T("Bw", 0)]]
+        report = check_stage_orders(orders, 1)
+        assert report.ok, "\n".join(d.format() for d in report.diagnostics)
+
+
+# ----------------------------------------------------------------------
+# D002: cross-stage deadlock
+# ----------------------------------------------------------------------
+class TestDeadlock:
+    def test_inverted_stage_order_deadlocks(self):
+        # Stage 0 runs its backward first; it waits on stage 1's
+        # backward, which waits on stage 1's forward, which waits on
+        # stage 0's forward — queued behind stage 0's backward. Hang.
+        orders = [[T("B", 0), T("F", 0)], [T("F", 0), T("B", 0)]]
+        report = check_stage_orders_deadlock(orders)
+        assert "D002" in report.codes
+        (diag,) = report.diagnostics
+        assert diag.witness
+        assert diag.witness[0] == diag.witness[-1]
+
+    @pytest.mark.parametrize("schedule", SCHEDULE_NAMES)
+    def test_named_schedules_never_deadlock(self, schedule):
+        orders = schedule_job(schedule, 4, 8)
+        assert check_stage_orders_deadlock(orders).ok
+
+    def test_skip_connection_edges_are_honoured(self):
+        # A 3-stage job with a skip edge 0 -> 2; the named schedules must
+        # still come out clean under the richer wait-for graph.
+        stages = [
+            StageProfile(stage_id=s, fwd_time=1.0, bwd_x_time=1.0, bwd_w_time=1.0)
+            for s in range(3)
+        ]
+        edges = [
+            CommEdge(src_stage=0, dst_stage=1, fwd_time=0.0, bwd_time=0.0),
+            CommEdge(src_stage=1, dst_stage=2, fwd_time=0.0, bwd_time=0.0),
+            CommEdge(src_stage=0, dst_stage=2, fwd_time=0.0, bwd_time=0.0,
+                     label="skip"),
+        ]
+        job = PipelineJob(stages=stages, edges=edges, n_microbatches=4)
+        for schedule in SCHEDULE_NAMES:
+            report = analyze_pipeline_schedule(schedule, 3, 4, job=job)
+            assert report.ok, (
+                schedule + ": "
+                + "\n".join(d.format() for d in report.diagnostics)
+            )
+
+
+# ----------------------------------------------------------------------
+# End-to-end: named schedules are clean
+# ----------------------------------------------------------------------
+class TestNamedSchedules:
+    @pytest.mark.parametrize("schedule", SCHEDULE_NAMES)
+    @pytest.mark.parametrize("delay", [False, True])
+    def test_analyzer_accepts(self, schedule, delay):
+        report = analyze_pipeline_schedule(
+            schedule, 4, 8, delay_bw_weight=delay
+        )
+        assert report.ok, "\n".join(d.format() for d in report.diagnostics)
+        assert report.subject == f"pipeline-schedule[{schedule}]"
