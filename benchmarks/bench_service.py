@@ -1,0 +1,85 @@
+"""Service overload benchmarks: latency percentiles, hit/shed rates.
+
+Two deterministic load scenarios run on the virtual-time loop:
+
+* ``steady`` — sustained arrivals within capacity: high cache hit rate,
+  no shedding, tight latency percentiles;
+* ``bursty`` — periodic arrival spikes against a deliberately tight
+  admission policy: the service must shed and coalesce instead of
+  letting the queue grow without bound.
+
+The scenario reports (admission-to-response p50/p95/p99 in virtual
+seconds, cache hit rate, shed/coalesce rates, peak queue depth) are
+persisted to ``benchmarks/results/BENCH_service.json`` — a committed,
+machine-independent artifact, unlike the wall-clock pytest-benchmark
+numbers also collected here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from persist import persist_bench
+from repro.service import (
+    PROFILES,
+    AdmissionConfig,
+    LoadProfile,
+    ServiceConfig,
+    run_load,
+)
+
+#: tight admission policy that forces overload behavior under bursts
+TIGHT = ServiceConfig(
+    n_workers=2,
+    admission=AdmissionConfig(max_queue_depth=12, per_tenant_depth=5, rate=45.0),
+)
+
+SCENARIOS: dict[str, tuple[LoadProfile, ServiceConfig]] = {
+    "steady": (PROFILES["steady"], ServiceConfig(n_workers=2)),
+    "bursty": (PROFILES["bursty"], TIGHT),
+}
+
+
+def scenario_payload() -> dict:
+    payload: dict = {}
+    for name, (profile, config) in sorted(SCENARIOS.items()):
+        report = run_load(profile, seed=0, config=config, timeout=2.0)
+        assert report.worker_crashes == 0
+        payload[name] = report.to_json()
+    return payload
+
+
+def test_persist_service_bench() -> None:
+    """Regenerate and persist the committed BENCH_service.json artifact."""
+    payload = scenario_payload()
+    bursty = payload["bursty"]
+    # Overload safety: the bursty scenario must shed/coalesce rather
+    # than grow the queue past its bound, and p99 must stay bounded.
+    assert bursty["max_queue_depth"] <= TIGHT.admission.max_queue_depth
+    assert bursty["n_shed"] > 0 or bursty["n_coalesced"] > 0
+    assert bursty["latency"]["p99"] < 2.0
+    persist_bench("service", payload)
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_steady_throughput(benchmark) -> None:
+    """Wall time of one full steady-load service run (virtual inside)."""
+    profile, config = SCENARIOS["steady"]
+    report = benchmark.pedantic(
+        lambda: run_load(profile, seed=0, config=config, timeout=2.0),
+        rounds=3,
+        iterations=1,
+    )
+    assert report.worker_crashes == 0
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_bursty_overload(benchmark) -> None:
+    """Wall time of one bursty overload run against the tight policy."""
+    profile, config = SCENARIOS["bursty"]
+    report = benchmark.pedantic(
+        lambda: run_load(profile, seed=0, config=config, timeout=2.0),
+        rounds=3,
+        iterations=1,
+    )
+    assert report.worker_crashes == 0

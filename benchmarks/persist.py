@@ -1,0 +1,35 @@
+"""Persist benchmark payloads as committed, diffable JSON artifacts.
+
+``persist_bench("service", payload)`` writes
+``benchmarks/results/BENCH_service.json`` with sorted keys and no
+timestamps or machine identifiers, so the artifact is byte-stable for a
+given code state and a CI diff against the committed copy is a
+regression signal, not noise.  Deterministic payloads only — anything
+wall-clock-derived (pytest-benchmark timings, host names) stays out.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+__all__ = ["persist_bench", "load_bench", "RESULTS_DIR"]
+
+
+def persist_bench(name: str, payload: Mapping[str, Any]) -> pathlib.Path:
+    """Write ``payload`` to ``benchmarks/results/BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(name: str) -> Any:
+    """Read back a previously persisted artifact (None if absent)."""
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

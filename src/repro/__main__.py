@@ -84,7 +84,7 @@ def _dump_plan_state(pass_name: str, state) -> None:
 
 
 def cmd_reshard(args: argparse.Namespace) -> int:
-    from .compiler import CompileContext, compile_resharding
+    from .compiler import CompileContext, CompileTimeout, compile_resharding
     from .core.api import reshard
     from .core.task import ReshardingTask
     from .experiments.common import fmt_bytes, fmt_seconds, make_microbench_meshes
@@ -114,22 +114,31 @@ def cmd_reshard(args: argparse.Namespace) -> int:
                 args.shape, src, args.src_spec, dst, args.dst_spec,
                 dtype=np.float32,
             )
-            compiled = compile_resharding(
-                task,
-                CompileContext(
-                    strategy=name,
-                    cache=None,
-                    dump_after=tuple(args.dump_plan_after or ()),
-                    on_dump=_dump_plan_state,
-                ),
-            )
+            try:
+                compiled = compile_resharding(
+                    task,
+                    CompileContext(
+                        strategy=name,
+                        cache=None,
+                        deadline=args.timeout,
+                        dump_after=tuple(args.dump_plan_after or ()),
+                        on_dump=_dump_plan_state,
+                    ),
+                )
+            except CompileTimeout as timeout:
+                print(f"  {name:<10} compile timeout: {timeout}", file=sys.stderr)
+                return 3
             if args.explain:
                 print(f"  [{name}] pass pipeline:")
                 for line in compiled.diagnostics.format_table().splitlines():
                     print("    " + line)
         cache_kwargs = {"cache": None} if args.no_cache else {}
-        r = reshard(tensor_or_shape, src, args.src_spec, dst, args.dst_spec,
-                    strategy=name, **cache_kwargs)
+        try:
+            r = reshard(tensor_or_shape, src, args.src_spec, dst, args.dst_spec,
+                        strategy=name, deadline=args.timeout, **cache_kwargs)
+        except CompileTimeout as timeout:
+            print(f"  {name:<10} compile timeout: {timeout}", file=sys.stderr)
+            return 3
         streams.append((name, r.timing.telemetry))
         verified = ""
         if args.verify and r.dst_tensor is not None:
@@ -417,6 +426,83 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resharding service under a seeded synthetic load.
+
+    The whole run executes on the deterministic virtual-time loop, so
+    the same arguments always produce the identical report (including
+    the telemetry digest).  With ``--check``, exit 1 unless the
+    overload-safety gates hold: zero worker crashes, bounded queue
+    depth, and (for bursty profiles) at least one coalesced compile.
+    """
+    import dataclasses
+    import json
+
+    from .service import (
+        PROFILES,
+        AdmissionConfig,
+        BreakerConfig,
+        ServiceChaos,
+        ServiceConfig,
+        run_load,
+    )
+
+    profile = dataclasses.replace(
+        PROFILES[args.profile],
+        n_requests=args.requests,
+        n_tenants=args.tenants,
+    )
+    config = ServiceConfig(
+        n_workers=args.workers,
+        admission=AdmissionConfig(
+            max_queue_depth=args.max_queue_depth,
+            per_tenant_depth=args.per_tenant_depth,
+            rate=args.rate,
+        ),
+        breaker=BreakerConfig(),
+    )
+    chaos = None
+    if args.chaos:
+        chaos = ServiceChaos(
+            seed=args.seed,
+            slow_rate=0.2,
+            slow_extra=0.05,
+            fault_rate=0.15,
+            cancel_rate=0.05,
+            cancel_after=0.01,
+            poison_requests=(f"req-{args.requests // 2:04d}",),
+        )
+    report = run_load(
+        profile, seed=args.seed, config=config, chaos=chaos, timeout=args.timeout
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.format_summary())
+    if args.check:
+        failures = []
+        if report.worker_crashes:
+            failures.append(f"{report.worker_crashes} worker crash(es)")
+        if report.max_queue_depth > config.admission.max_queue_depth:
+            failures.append(
+                f"queue depth {report.max_queue_depth} exceeded bound "
+                f"{config.admission.max_queue_depth}"
+            )
+        if profile.bursty and report.n_coalesced == 0:
+            failures.append("bursty load produced zero coalesced compiles")
+        answered = sum(report.status_counts.values())
+        if answered != report.n_requests:
+            failures.append(
+                f"only {answered} of {report.n_requests} requests answered"
+            )
+        if failures:
+            for f in failures:
+                print(f"CHECK FAIL: {f}", file=sys.stderr)
+            return 1
+        print("service checks: ok")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import ablations, fig3, fig5, fig6, fig7, fig8, fig9, table1
     from .experiments.common import format_markdown
@@ -460,6 +546,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed plan cache")
+    r.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="deterministic compile deadline in budget seconds "
+                        "(machine-independent; exit 3 on timeout)")
     r.add_argument("--trace-out", metavar="PATH",
                    help="dump the run's telemetry (Chrome trace .json or .jsonl)")
     r.set_defaults(fn=cmd_reshard)
@@ -479,6 +568,35 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--trace-out", metavar="PATH",
                    help="dump the run's telemetry (Chrome trace .json or .jsonl)")
     e.set_defaults(fn=cmd_e2e)
+
+    s = sub.add_parser(
+        "serve",
+        help="drive the resharding service under seeded load",
+        description=(
+            "Run the overload-safe planning service on the deterministic "
+            "virtual-time loop under a seeded multi-tenant load profile; "
+            "print (or check) the overload-safety report."
+        ),
+    )
+    s.add_argument("--profile", choices=["steady", "bursty"], default="bursty")
+    s.add_argument("--requests", type=int, default=120)
+    s.add_argument("--tenants", type=int, default=4)
+    s.add_argument("--workers", type=int, default=2)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--max-queue-depth", type=int, default=64)
+    s.add_argument("--per-tenant-depth", type=int, default=16)
+    s.add_argument("--rate", type=float, default=0.0,
+                   help="per-tenant token-bucket rate (requests/s; 0 = off)")
+    s.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="per-request admission-to-response timeout")
+    s.add_argument("--chaos", action="store_true",
+                   help="inject seeded chaos: slow compiles, transient "
+                        "faults, client cancellations, one poison request")
+    s.add_argument("--json", action="store_true",
+                   help="print the full report as JSON")
+    s.add_argument("--check", action="store_true",
+                   help="exit 1 unless the overload-safety gates hold")
+    s.set_defaults(fn=cmd_serve)
 
     x = sub.add_parser("experiment", help="run one paper experiment")
     x.add_argument("id", choices=["E1", "E2", "E3", "E4", "E5", "E6", "E7", "A0"])

@@ -6,9 +6,11 @@ validate) behind a content-addressed plan cache.  See
 ``docs/architecture.md`` for the full tour.
 """
 
+from .budget import NODES_PER_SECOND, CompileBudget, CompileTimeout
 from .cache import (
     CacheStats,
     PlanCache,
+    ShardStats,
     default_plan_cache,
     plan_signature,
     reset_default_plan_cache,
@@ -52,6 +54,10 @@ __all__ = [
     "DEFAULT_PASSES",
     "PlanCache",
     "CacheStats",
+    "ShardStats",
+    "CompileBudget",
+    "CompileTimeout",
+    "NODES_PER_SECOND",
     "plan_signature",
     "task_signature",
     "default_plan_cache",

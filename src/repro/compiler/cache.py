@@ -30,6 +30,7 @@ addressed, not identity-addressed.  A strategy without a cache key
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -44,6 +45,7 @@ __all__ = [
     "task_signature",
     "plan_signature",
     "CacheStats",
+    "ShardStats",
     "PlanCache",
     "default_plan_cache",
     "reset_default_plan_cache",
@@ -110,6 +112,17 @@ def plan_signature(
 
 
 @dataclass(frozen=True)
+class ShardStats:
+    """A snapshot of one cache shard's counters."""
+
+    shard: int
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+
+@dataclass(frozen=True)
 class CacheStats:
     """A snapshot of one cache's counters."""
 
@@ -119,6 +132,9 @@ class CacheStats:
     size: int
     epoch: int
     n_invalidations: int
+    evictions: int = 0
+    stale_stores: int = 0
+    shards: tuple[ShardStats, ...] = ()
 
     @property
     def hit_rate(self) -> float:
@@ -133,31 +149,78 @@ class CacheStats:
         return (
             f"CacheStats(requests={self.requests}, hits={self.hits}, "
             f"misses={self.misses}, hit_rate={self.hit_rate:.1%}, "
-            f"size={self.size}, epoch={self.epoch})"
+            f"size={self.size}, evictions={self.evictions}, "
+            f"epoch={self.epoch})"
         )
+
+
+class _Shard:
+    """One LRU shard: an ordered dict in recency order plus counters."""
+
+    __slots__ = ("entries", "hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.entries: OrderedDict[str, "CompiledPlan"] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
 
 class PlanCache:
     """Content-addressed store of :class:`CompiledPlan` objects.
 
-    Entries are evicted FIFO beyond ``max_entries`` (compiles are cheap
-    enough that precision eviction is not worth the bookkeeping).
+    Entries live in ``n_shards`` independent LRU shards (the shard is
+    picked by signature prefix, so the content hash doubles as the shard
+    router); a hit refreshes recency, and inserts beyond a shard's
+    capacity evict that shard's least-recently-used entry.  Per-shard
+    hit/miss/eviction counters are exposed through :meth:`stats`.
+
     :meth:`invalidate` drops everything *and* bumps the epoch that is
     folded into every signature — explicit invalidation on fault events.
+    It is safe to call concurrently with in-flight compiles: a compile
+    that computed its signature (and captured the epoch) before the bump
+    may still call :meth:`store`, but the write is detected as stale and
+    dropped (counted in ``stale_stores``) rather than resurrecting a
+    pre-invalidation plan — the epoch bump is never lost.
     """
 
-    def __init__(self, max_entries: int = 1024) -> None:
+    def __init__(self, max_entries: int = 1024, n_shards: int = 1) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.max_entries = max_entries
-        self._entries: dict[str, "CompiledPlan"] = {}
+        self.n_shards = min(n_shards, max_entries)
+        #: per-shard capacity: ceil so the total is >= max_entries
+        self.shard_capacity = -(-max_entries // self.n_shards)
+        self._shards = [_Shard() for _ in range(self.n_shards)]
         self.epoch = 0
-        self.hits = 0
-        self.misses = 0
         self.n_invalidations = 0
+        self.stale_stores = 0
+        self.last_invalidation_reason = ""
+
+    def _shard_of(self, signature: str) -> _Shard:
+        # Signatures are SHA-256 hex: the leading 8 hex digits are a
+        # uniform 32-bit value, ideal as a shard router.
+        return self._shards[int(signature[:8], 16) % self.n_shards]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(s.entries) for s in self._shards)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._shard_of(signature).entries
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self._shards)
 
     @property
     def requests(self) -> int:
@@ -168,38 +231,79 @@ class PlanCache:
         return self.hits / self.requests if self.requests else 0.0
 
     def lookup(self, signature: str) -> "Optional[CompiledPlan]":
-        found = self._entries.get(signature)
+        shard = self._shard_of(signature)
+        found = shard.entries.get(signature)
         if found is None:
-            self.misses += 1
+            shard.misses += 1
         else:
-            self.hits += 1
+            shard.hits += 1
+            shard.entries.move_to_end(signature)
         return found
 
-    def store(self, signature: str, compiled: "CompiledPlan") -> None:
-        if signature not in self._entries and len(self._entries) >= self.max_entries:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-        self._entries[signature] = compiled
+    def store(
+        self,
+        signature: str,
+        compiled: "CompiledPlan",
+        epoch: Optional[int] = None,
+    ) -> bool:
+        """Insert ``compiled`` under ``signature``; returns True if stored.
+
+        ``epoch`` is the cache epoch captured when the signature was
+        computed.  A store whose epoch no longer matches (an
+        :meth:`invalidate` ran while the compile was in flight) is
+        dropped so stale plans cannot leak into the new epoch.
+        """
+        if epoch is not None and epoch != self.epoch:
+            self.stale_stores += 1
+            return False
+        shard = self._shard_of(signature)
+        entries = shard.entries
+        if signature in entries:
+            entries.move_to_end(signature)
+        elif len(entries) >= self.shard_capacity:
+            entries.popitem(last=False)
+            shard.evictions += 1
+        entries[signature] = compiled
+        return True
 
     def invalidate(self, reason: str = "") -> None:
         """Drop every entry and open a new epoch (fault-event hook)."""
-        self._entries.clear()
+        # Bump the epoch *before* clearing: any in-flight store that
+        # captured the old epoch is already stale the instant callers
+        # can observe the invalidation.
         self.epoch += 1
+        for shard in self._shards:
+            shard.entries.clear()
         self.n_invalidations += 1
         self.last_invalidation_reason = reason
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        for shard in self._shards:
+            shard.hits = 0
+            shard.misses = 0
+            shard.evictions = 0
+        self.stale_stores = 0
 
     def stats(self) -> CacheStats:
         return CacheStats(
             requests=self.requests,
             hits=self.hits,
             misses=self.misses,
-            size=len(self._entries),
+            size=len(self),
             epoch=self.epoch,
             n_invalidations=self.n_invalidations,
+            evictions=self.evictions,
+            stale_stores=self.stale_stores,
+            shards=tuple(
+                ShardStats(
+                    shard=i,
+                    hits=s.hits,
+                    misses=s.misses,
+                    evictions=s.evictions,
+                    size=len(s.entries),
+                )
+                for i, s in enumerate(self._shards)
+            ),
         )
 
     def __repr__(self) -> str:

@@ -180,6 +180,8 @@ class SelectPass:
         if not isinstance(strategy, AutoStrategy):
             return f"fixed strategy {strategy.name!r}"
 
+        from .budget import charge_pass
+
         faults = ctx.effective_faults(strategy)
         retry = ctx.effective_retry_policy(strategy)
         sub_passes = [LowerPass(), SchedulePass(), FaultRewritePass(), EmitPass()]
@@ -188,8 +190,12 @@ class SelectPass:
         for cand in strategy.candidates:
             sub = PlanState(task=state.task, strategy=cand)
             for p in sub_passes:
-                p.run(sub, ctx)
+                detail = p.run(sub, ctx)
+                charge_pass(ctx.budget, p.name, sub, detail)
             result = simulate_plan(sub.plan, faults=faults, retry_policy=retry)
+            if ctx.budget is not None:
+                # simulating a candidate costs roughly its op count
+                ctx.budget.charge(max(1, sub.n_ops) * 8, "select")
             fatal = result.fault_report is not None and result.fault_report.fatal
             state.scores.append((cand.name, result.total_time))
             if best is None or (fatal, result.total_time) < best[:2]:

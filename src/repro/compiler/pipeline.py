@@ -27,6 +27,7 @@ from ..core.verify_data import IntegrityReport, verify_delivery
 from ..sim.faults import FaultSchedule, RetryPolicy
 from ..strategies import make_strategy
 from ..strategies.base import CommStrategy
+from .budget import CompileBudget, CompileTimeout, charge_pass
 from .cache import PlanCache, default_plan_cache, plan_signature
 from .passes import DEFAULT_PASSES, CompilerPass, PlanState
 
@@ -37,6 +38,7 @@ __all__ = [
     "CompileContext",
     "CompiledPlan",
     "compile_resharding",
+    "CompileTimeout",
     "USE_DEFAULT_CACHE",
 ]
 
@@ -101,6 +103,7 @@ class PassManager:
                     detail=detail,
                 )
             )
+            charge_pass(ctx.budget, p.name, state, detail)
             if p.name in ctx.dump_after and ctx.on_dump is not None:
                 ctx.on_dump(p.name, state)
         return diag
@@ -128,6 +131,11 @@ class CompileContext:
     faults: Optional[FaultSchedule] = None
     retry_policy: Optional[RetryPolicy] = None
     cache: Any = USE_DEFAULT_CACHE
+    #: deterministic compile deadline in nominal seconds (see
+    #: :mod:`repro.compiler.budget`); ``None`` leaves compiles unbounded
+    deadline: Optional[float] = None
+    #: the per-compile ledger; reset by ``compile_resharding`` per call
+    budget: Optional[CompileBudget] = None
     #: run the static coverage validator as the final pass
     validate: bool = False
     #: pass names after which ``on_dump(name, state)`` fires
@@ -235,11 +243,13 @@ def compile_resharding(
 
     cache = ctx.resolved_cache()
     signature: Optional[str] = None
+    epoch = 0
     if cache is not None:
         strategy_key = strategy.cache_key()
         if strategy_key is not None:
+            epoch = cache.epoch
             signature = plan_signature(
-                task, strategy_key, faults, retry_policy, epoch=cache.epoch
+                task, strategy_key, faults, retry_policy, epoch=epoch
             )
             hit = cache.lookup(signature)
             if hit is not None:
@@ -247,6 +257,11 @@ def compile_resharding(
                     hit.ensure_validated()
                 return hit
 
+    # The deadline bounds one compile: open a fresh ledger per call so a
+    # reused context never inherits spend from an earlier compile.
+    ctx.budget = (
+        CompileBudget.from_deadline(ctx.deadline) if ctx.deadline is not None else None
+    )
     state = PlanState(task=task, strategy=strategy)
     diagnostics = PassManager(ctx.passes).run(state, ctx)
     assert state.plan is not None
@@ -261,5 +276,5 @@ def compile_resharding(
         scores=list(state.scores),
     )
     if signature is not None:
-        cache.store(signature, compiled)
+        cache.store(signature, compiled, epoch=epoch)
     return compiled

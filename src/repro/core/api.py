@@ -96,10 +96,16 @@ def reshard(
     content (specs, meshes, topology, strategy, fault epoch) reuses the
     compiled plan *and* its memoized timing.  Pass ``cache=None`` to
     compile fresh, or another :class:`~repro.compiler.PlanCache`.
+
+    ``deadline`` bounds the compile in deterministic budget seconds
+    (:mod:`repro.compiler.budget`); exceeding it raises
+    :class:`~repro.compiler.CompileTimeout` identically on every
+    machine.
     """
     from ..compiler.pipeline import USE_DEFAULT_CACHE, CompileContext, compile_resharding
 
     cache = strategy_kwargs.pop("cache", USE_DEFAULT_CACHE)
+    deadline = strategy_kwargs.pop("deadline", None)
     if isinstance(tensor_or_shape, np.ndarray):
         array: Optional[np.ndarray] = tensor_or_shape
         shape = array.shape
@@ -110,7 +116,8 @@ def reshard(
 
     task = ReshardingTask(shape, src_mesh, src_spec, dst_mesh, dst_spec, dtype=dtype)
     ctx = CompileContext(
-        strategy=strategy, strategy_kwargs=strategy_kwargs, cache=cache
+        strategy=strategy, strategy_kwargs=strategy_kwargs, cache=cache,
+        deadline=deadline,
     )
     compiled = compile_resharding(task, ctx)
     plan = compiled.plan

@@ -385,6 +385,38 @@ class TelemetryBus:
         wanted = frozenset(cats)
         return (s for s in self.spans if s.cat in wanted)
 
+    def counter_totals(self) -> dict[str, float]:
+        """Final value of every counter/gauge series, keyed ``track/name``.
+
+        The service layer's replay tests and the ``serve`` CLI summary
+        both want "how did every series end up", not the sample streams.
+        """
+        totals: dict[str, float] = {}
+        for name, track, _time, value in self._counter_rows:
+            totals[f"{track}/{name}" if track else name] = value
+        return totals
+
+    def digest(self) -> str:
+        """SHA-256 over every raw row — the byte-identity fingerprint.
+
+        Two runs are *replays of each other* exactly when their digests
+        match: every span, counter sample, and mark, with its timestamp
+        and attributes, in emission order.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for crow in self._counter_rows:
+            h.update(repr(crow).encode())
+        for srow in self._span_rows:
+            h.update(repr(srow[:7]).encode())
+            h.update(repr(sorted(srow[7].items())).encode())
+        for m in self._marks:
+            h.update(
+                f"{m.name}|{m.track}|{m.time!r}|{sorted(m.attrs.items())!r}".encode()
+            )
+        return h.hexdigest()
+
     def __repr__(self) -> str:
         return (
             f"TelemetryBus({len(self._span_rows)} span(s), "

@@ -1,0 +1,126 @@
+"""A virtual-time asyncio event loop for deterministic async services.
+
+The resharding service is ordinary asyncio code — coroutines, queues,
+``loop.call_at`` timers — but the repo's determinism contract (byte-
+identical telemetry for identical inputs, enforced by the repro-lint
+L001 rule) rules out the wall clock.  :class:`VirtualTimeLoop` squares
+that circle: ``loop.time()`` reads a **virtual clock** that only moves
+when every runnable task has yielded, and then jumps straight to the
+next scheduled timer.  ``await asyncio.sleep(0.25)`` costs zero wall
+time, and two runs of the same seeded workload execute the exact same
+interleaving — the standard virtual-clock testing trick (as used by
+Trio's test clock and asyncio ``looptime``-style harnesses), promoted
+here to the service's default execution mode.
+
+The mechanism: asyncio's selector event loop computes ``timeout = next
+timer - now`` and blocks in ``selector.select(timeout)``.  The wrapped
+selector never blocks — it polls ready file descriptors, and when there
+are none (the service does no real I/O) advances the virtual clock by
+exactly ``timeout``, so the pending timer fires immediately.  A
+``select(None)`` — no ready callbacks *and* no timers — means the
+program is waiting on something that can never happen; the loop raises
+:class:`VirtualTimeStall` instead of hanging, turning a silent deadlock
+into a loud diagnostic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from typing import Any, Coroutine, Mapping, Optional, TypeVar
+
+__all__ = ["VirtualTimeLoop", "VirtualTimeStall", "run_virtual"]
+
+T = TypeVar("T")
+
+
+class VirtualTimeStall(RuntimeError):
+    """The virtual loop has no ready callbacks and no timers to run."""
+
+
+class _VirtualSelector(selectors.BaseSelector):
+    """Selector wrapper that converts blocking waits into time jumps."""
+
+    def __init__(self, inner: selectors.BaseSelector, loop: "VirtualTimeLoop") -> None:
+        self._inner = inner
+        self._loop = loop
+
+    def register(
+        self, fileobj: Any, events: int, data: Any = None
+    ) -> selectors.SelectorKey:
+        return self._inner.register(fileobj, events, data)
+
+    def unregister(self, fileobj: Any) -> selectors.SelectorKey:
+        return self._inner.unregister(fileobj)
+
+    def modify(
+        self, fileobj: Any, events: int, data: Any = None
+    ) -> selectors.SelectorKey:
+        return self._inner.modify(fileobj, events, data)
+
+    def select(
+        self, timeout: Optional[float] = None
+    ) -> list[tuple[selectors.SelectorKey, int]]:
+        ready = self._inner.select(0)
+        if ready:
+            return ready
+        if timeout is None:
+            raise VirtualTimeStall(
+                "virtual-time loop stalled: every task is waiting on an event "
+                "that no timer or callback will ever deliver"
+            )
+        if timeout > 0:
+            self._loop._advance(timeout)
+        return []
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def get_map(self) -> Mapping[Any, selectors.SelectorKey]:
+        return self._inner.get_map()
+
+
+class VirtualTimeLoop(asyncio.SelectorEventLoop):
+    """An asyncio event loop whose clock is simulated, not measured.
+
+    ``loop.time()`` starts at 0.0 and advances only through scheduled
+    waits, so timer arithmetic is exact: a task sleeping 0.25s wakes at
+    *precisely* ``t + 0.25`` and telemetry stamped off ``loop.time()``
+    is reproducible byte-for-byte.
+    """
+
+    _vtime: float = 0.0
+
+    def __init__(self) -> None:
+        self._vtime = 0.0
+        super().__init__(selector=_VirtualSelector(selectors.SelectSelector(), self))
+
+    def time(self) -> float:
+        return self._vtime
+
+    def _advance(self, dt: float) -> None:
+        self._vtime += dt
+
+
+def run_virtual(main: Coroutine[Any, Any, T]) -> T:
+    """Run ``main`` to completion on a fresh :class:`VirtualTimeLoop`."""
+    loop = VirtualTimeLoop()
+    try:
+        asyncio.set_event_loop(loop)
+        return loop.run_until_complete(main)
+    finally:
+        try:
+            _cancel_all_tasks(loop)
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+
+def _cancel_all_tasks(loop: asyncio.AbstractEventLoop) -> None:
+    pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+    if not pending:
+        return
+    for task in pending:
+        task.cancel()
+    loop.run_until_complete(asyncio.gather(*pending, return_exceptions=True))

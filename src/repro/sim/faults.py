@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
+    "seeded_uniform",
     "DegradedWindow",
     "FlapWindow",
     "StragglerWindow",
@@ -56,6 +57,17 @@ def _uniform(*key) -> float:
     the draw is stable across processes and PYTHONHASHSEED values.
     """
     return random.Random(":".join(str(k) for k in key)).random()
+
+
+def seeded_uniform(*key) -> float:
+    """Public alias of :func:`_uniform` for out-of-module consumers.
+
+    The service layer (:mod:`repro.service.chaos`) keys its per-request
+    chaos decisions the same way the network keys per-flow drops —
+    through one shared deterministic hash, so the whole repo has exactly
+    one source of seeded randomness.
+    """
+    return _uniform(*key)
 
 
 # ----------------------------------------------------------------------

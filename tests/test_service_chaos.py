@@ -1,0 +1,122 @@
+"""Replayable service chaos: the acceptance scenario from the issue.
+
+A seeded chaos schedule mixing slow compiles, transient compile faults,
+client cancellations, and one poison request is driven through the
+service twice; the runs must complete with zero worker crashes and
+byte-identical telemetry.  A second scenario forces the circuit breaker
+through its full open -> half-open -> closed trajectory under load.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.service import (
+    PROFILES,
+    AdmissionConfig,
+    BreakerConfig,
+    ServiceChaos,
+    ServiceConfig,
+    run_load,
+)
+from repro.sim.faults import RetryPolicy
+
+CHAOS = ServiceChaos(
+    seed=11,
+    slow_rate=0.3,
+    slow_extra=0.08,
+    fault_rate=0.2,
+    cancel_rate=0.1,
+    cancel_after=0.02,
+    poison_requests=("req-0040",),
+)
+
+CONFIG = ServiceConfig(
+    n_workers=2,
+    admission=AdmissionConfig(max_queue_depth=16, per_tenant_depth=8),
+    breaker=BreakerConfig(failure_threshold=4, cooldown=0.5),
+    retry=RetryPolicy(max_attempts=2, backoff_base=0.01),
+)
+
+
+def chaos_run():
+    return run_load(
+        PROFILES["bursty"], seed=11, config=CONFIG, chaos=CHAOS, timeout=3.0
+    )
+
+
+def test_chaos_run_is_overload_safe():
+    report = chaos_run()
+    # every request answered, no worker ever crashed
+    assert report.worker_crashes == 0
+    assert sum(report.status_counts.values()) == report.n_requests
+    # the poison request failed itself -- and only itself
+    assert report.status_counts.get("invalid", 0) == 1
+    # chaos actually struck: cancellations and slow compiles observed
+    assert report.status_counts.get("cancelled", 0) >= 1
+    assert report.counter_totals.get("service/service.slow_compile", 0) >= 1
+    # backlog stayed within the admission bound throughout
+    assert report.max_queue_depth <= CONFIG.admission.max_queue_depth
+    # p99 admission-to-response latency bounded by the request timeout
+    assert report.p99_latency <= 3.0
+
+
+def test_chaos_replay_is_byte_identical():
+    first = chaos_run()
+    second = chaos_run()
+    assert first.telemetry_digest == second.telemetry_digest
+    assert first.counter_totals == second.counter_totals
+    assert first.status_counts == second.status_counts
+    assert first.to_json() == second.to_json()
+
+
+def test_different_seed_differs():
+    """The digest is a real fingerprint, not a constant."""
+    a = run_load(PROFILES["bursty"], seed=11, config=CONFIG, chaos=CHAOS,
+                 timeout=3.0)
+    b = run_load(PROFILES["bursty"], seed=12, config=CONFIG, chaos=CHAOS,
+                 timeout=3.0)
+    assert a.telemetry_digest != b.telemetry_digest
+
+
+def test_poison_request_never_crashes_worker_or_trips_breaker():
+    """Every request poisoned: all fail individually, breaker stays closed."""
+    poison_all = ServiceChaos(
+        seed=5,
+        poison_requests=tuple(f"req-{i:04d}" for i in range(24)),
+    )
+    profile = dataclasses.replace(PROFILES["steady"], n_requests=24)
+    report = run_load(profile, seed=5, config=CONFIG, chaos=poison_all)
+    assert report.worker_crashes == 0
+    assert report.status_counts.get("invalid", 0) == 24
+    # client errors never count against the compiler's breaker
+    assert report.counter_totals.get("service/service.shed.breaker-open", 0) == 0
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_breaker_trips_and_recovers_under_persistent_faults(seed):
+    """High fault rate with no retries: breaker must open, then recover."""
+    stormy = ServiceChaos(seed=seed, fault_rate=0.85)
+    # cooldown short enough that probe windows open while load is still
+    # arriving (the bursty profile's 80 arrivals span ~0.15s)
+    config = ServiceConfig(
+        n_workers=1,
+        admission=AdmissionConfig(max_queue_depth=32, per_tenant_depth=32),
+        breaker=BreakerConfig(failure_threshold=3, cooldown=0.02,
+                              half_open_probes=1),
+        retry=RetryPolicy(max_attempts=1, backoff_base=0.01),
+    )
+    profile = dataclasses.replace(PROFILES["bursty"], n_requests=80)
+    report = run_load(profile, seed=seed, config=config, chaos=stormy,
+                      timeout=5.0)
+    assert report.worker_crashes == 0
+    assert sum(report.status_counts.values()) == report.n_requests
+    # the breaker opened at least once...
+    assert report.counter_totals.get("service/service.failed", 0) >= 3
+    opened = (
+        report.counter_totals.get("service/service.shed.breaker-open", 0)
+        + report.n_degraded
+    )
+    assert opened > 0, "breaker never rejected or degraded a request"
+    # ...and probes got through again (half-open admitted compiles)
+    assert report.counter_totals.get("service/service.breaker_probe", 0) >= 1
