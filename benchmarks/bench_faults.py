@@ -79,5 +79,35 @@ def test_zero_fault_overhead_under_2_percent(benchmark):
     assert abs(res.total_time - baseline) / baseline < 0.02
 
 
+def test_zero_fault_overhead_with_new_classes_compiled_in(benchmark):
+    """Same gate with the correlated/gray fault classes present but empty.
+
+    A FaultSchedule now carries domain-failure, partition, and
+    corruption fields; simply *having* them (as empty tuples) must cost
+    nothing on the hot path — every new check is behind an emptiness or
+    ``faults is None`` guard, so the simulated makespan stays within 2%
+    of the fault-free code path (and the corruption hash draw never
+    happens when no corruption window exists).
+    """
+    task = make_task()
+    baseline = simulate_plan(BroadcastStrategy().plan(task)).total_time
+    faults = FaultSchedule(
+        seed=0,
+        drop_rate=0.0,
+        domain_failures=(),
+        partitions=(),
+        corruptions=(),
+    )
+
+    def run_with_empty_classes():
+        plan = BroadcastStrategy(faults=faults).plan(task)
+        return simulate_plan(plan, faults=faults, retry_policy=POLICY)
+
+    res = benchmark.pedantic(run_with_empty_classes, rounds=3, iterations=1)
+    assert res.fault_report.status == "clean"
+    assert res.corrupted_ops == () and res.unverified_corruption == ()
+    assert abs(res.total_time - baseline) / baseline < 0.02
+
+
 def test_bench_chaos_plan_and_simulate_10pct(benchmark):
     benchmark.pedantic(latency_at, args=(0.1,), rounds=3, iterations=1)

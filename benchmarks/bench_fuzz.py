@@ -1,0 +1,53 @@
+"""Chaos-fuzzer benchmark: campaign stats as a committed artifact.
+
+The smoke campaign (25 seeded schedules over the golden workloads) must
+find zero invariant violations, and its deterministic stats — events
+injected, faults observed, loud failures, corruptions detected, the
+campaign telemetry digest — are persisted to
+``benchmarks/results/BENCH_fuzz.json``.  CI regenerates the artifact
+and diffs it against the committed copy: a drift means the simulator's
+observable behavior changed (update the artifact deliberately) or
+determinism broke (fix that instead).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from persist import persist_bench
+from repro.fuzz import run_fuzz
+
+RUNS = 25
+SEED = 0
+
+
+def campaign_payload() -> dict:
+    stats = run_fuzz(runs=RUNS, seed=SEED)
+    assert stats.violations == [], [
+        f"[{v.invariant}] {v.workload} run {v.run_index}: {v.detail}"
+        for v in stats.violations
+    ]
+    payload = stats.to_json()
+    payload.pop("violations")  # always empty here; keep the artifact flat
+    return payload
+
+
+def test_persist_fuzz_bench() -> None:
+    """Regenerate and persist the committed BENCH_fuzz.json artifact."""
+    payload = campaign_payload()
+    # The campaign must genuinely exercise every detection path.
+    assert payload["runs"] == RUNS
+    assert payload["faults_observed"] > 0
+    assert payload["loud_failures"] > 0
+    assert payload["corruptions_detected"] > 0
+    assert payload["replans_checked"] > 0
+    persist_bench("fuzz", payload)
+
+
+@pytest.mark.benchmark(group="fuzz")
+def test_fuzz_campaign_wall_time(benchmark) -> None:
+    """Wall time of the 25-run smoke campaign (virtual time inside)."""
+    stats = benchmark.pedantic(
+        lambda: run_fuzz(runs=RUNS, seed=SEED), rounds=3, iterations=1
+    )
+    assert stats.violations == []

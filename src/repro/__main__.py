@@ -426,6 +426,56 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Property-based chaos fuzzing of compile → simulate → verify.
+
+    Deterministic under ``--seed``: the same arguments always fuzz the
+    identical schedules and print the identical campaign digest.  With
+    ``--check``, exit 1 on any invariant violation.
+    """
+    import json
+
+    from .fuzz import run_fuzz
+
+    stats = run_fuzz(
+        runs=args.runs,
+        seed=args.seed,
+        break_reroot=args.break_reroot,
+        save_repros_dir=args.save_repros,
+    )
+    if args.json:
+        print(json.dumps(stats.to_json(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"fuzz: {stats.runs} run(s), {stats.events_injected} fault "
+            f"event(s) injected, {stats.faults_observed} fault(s) observed, "
+            f"{stats.loud_failures} loud failure(s), "
+            f"{stats.corruptions_detected} corruption(s) detected, "
+            f"{stats.replans_checked} replan view(s) checked"
+        )
+        print(f"campaign digest: {stats.digest}")
+        for v in stats.violations:
+            print(
+                f"VIOLATION [{v.invariant}] {v.workload} run {v.run_index}: "
+                f"{v.detail}"
+            )
+            print(
+                "  reproducer: "
+                + json.dumps(v.reproducer()["schedule"], sort_keys=True)
+            )
+    if args.check:
+        if stats.violations:
+            for v in stats.violations:
+                print(
+                    f"CHECK FAIL: [{v.invariant}] {v.workload} run "
+                    f"{v.run_index}",
+                    file=sys.stderr,
+                )
+            return 1
+        print("fuzz checks: ok")
+    return 0 if not stats.violations else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the resharding service under a seeded synthetic load.
 
@@ -668,6 +718,33 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--codes", nargs="+", metavar="CODE",
                       help="restrict to these codes (e.g. L001 L003)")
     lint.set_defaults(fn=cmd_lint)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="property-based chaos fuzzing of compile/simulate/verify",
+        description=(
+            "Generate seeded random fault schedules (correlated domain "
+            "failures, partitions, gray corruption, and the independent "
+            "classes) against golden workloads, asserting the standing "
+            "invariants on every run: no hangs, delivery integrity or "
+            "loud failure, byte-deterministic replay, analyzer-clean "
+            "plans.  Failing schedules are shrunk to minimal "
+            "reproducers."
+        ),
+    )
+    fz.add_argument("--runs", type=int, default=100,
+                    help="number of fuzzed schedules (default 100)")
+    fz.add_argument("--seed", type=int, default=0)
+    fz.add_argument("--check", action="store_true",
+                    help="exit 1 on any invariant violation")
+    fz.add_argument("--json", action="store_true",
+                    help="emit the campaign stats as JSON")
+    fz.add_argument("--break-reroot", action="store_true",
+                    help="self-test: compile with a deliberately broken "
+                         "re-root pass (violations expected)")
+    fz.add_argument("--save-repros", metavar="DIR", default=None,
+                    help="write shrunk reproducer schedules to DIR")
+    fz.set_defaults(fn=cmd_fuzz)
     return p
 
 

@@ -40,6 +40,13 @@ code      meaning
 ``L002``  unseeded random-number generation
 ``L003``  iteration over an unordered set with order-dependent
           effects
+``F001``  re-root into the same failure domain: a fallback record
+          lands the sender on a host sharing a failure domain with
+          the host it replaced while an out-of-domain replica exists
+``F002``  buddy checkpoint replica shares a failure domain with its
+          primary while an out-of-domain mesh exists
+``F003``  scheduled sender host sits inside a failure domain that is
+          down at plan time while an out-of-domain replica exists
 ========  ========================================================
 """
 
@@ -86,6 +93,9 @@ CATALOG: dict[str, str] = {
     "L001": "wall-clock time call in deterministic code",
     "L002": "unseeded random-number generation",
     "L003": "order-dependent iteration over an unordered set",
+    "F001": "re-root lands inside the replaced host's failure domain",
+    "F002": "buddy checkpoint shares a failure domain with its primary",
+    "F003": "scheduled sender sits in a failed domain at plan time",
 }
 
 

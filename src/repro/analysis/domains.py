@@ -1,0 +1,86 @@
+"""Failure-domain placement checks for checkpoint replication (F002).
+
+The plan-level domain checks (F001/F003) live in
+:mod:`repro.analysis.plan_checker`; this module covers the one placement
+decision made *outside* the compiler: where
+:class:`~repro.recovery.checkpoint.CheckpointStore` puts each stage's
+buddy replica.  Buddy replication only buys fail-stop survivability if
+the buddy's hosts can't die together with the primary's — a buddy on
+the same rack/PDU as its primary is a correlated single point of
+failure, which is exactly what :class:`~repro.sim.cluster.FailureDomain`
+declarations exist to rule out.
+
+``F002`` fires when stage ``s``'s buddy mesh shares a failure domain
+with its primary mesh while some *other* stage mesh is fully outside
+every domain of the primary — an avoidable correlated placement is an
+ERROR; with no domain-disjoint mesh available it demotes to WARNING
+(the cluster is too small to do better, but the operator should know).
+"""
+
+from __future__ import annotations
+
+from ..core.mesh import DeviceMesh
+from ..sim.cluster import ClusterSpec
+from .diagnostics import AnalysisReport, Severity
+
+__all__ = ["check_checkpoint_domains", "meshes_share_domain"]
+
+
+def meshes_share_domain(a: DeviceMesh, b: DeviceMesh, spec: ClusterSpec) -> bool:
+    """True when any host of ``a`` shares a failure domain with one of ``b``."""
+    return any(
+        spec.shares_domain(ha, hb) for ha in a.hosts for hb in b.hosts
+    )
+
+
+def check_checkpoint_domains(
+    primary_meshes: list[DeviceMesh],
+    buddy_meshes: list[DeviceMesh],
+    spec: ClusterSpec,
+) -> AnalysisReport:
+    """Prove buddy replicas live outside their primary's failure domains.
+
+    ``buddy_meshes[s]`` is where stage ``s``'s replica was placed;
+    candidates for "could have done better" are the other stage meshes
+    (buddy placement is constrained to existing stage meshes — the
+    store replicates onto peers, it does not invent new meshes).
+    """
+    report = AnalysisReport(subject="checkpoint-domains")
+    if len(primary_meshes) != len(buddy_meshes):
+        raise ValueError(
+            f"mesh list length mismatch: {len(primary_meshes)} primaries, "
+            f"{len(buddy_meshes)} buddies"
+        )
+    if not spec.failure_domains:
+        return report
+    for s, (primary, buddy) in enumerate(zip(primary_meshes, buddy_meshes)):
+        if not meshes_share_domain(primary, buddy, spec):
+            continue
+        shared = sorted(
+            {
+                d.name
+                for hp in primary.hosts
+                for d in spec.domains_of_host(hp)
+                if any(hb in d.hosts for hb in buddy.hosts)
+            }
+        )
+        alternatives = sorted(
+            k
+            for k, m in enumerate(primary_meshes)
+            if k != s
+            and m.devices != primary.devices
+            and not meshes_share_domain(primary, m, spec)
+        )
+        report.add(
+            "F002",
+            f"stage {s}: buddy checkpoint on hosts {sorted(buddy.hosts)} "
+            f"shares failure domain(s) {shared} with its primary on hosts "
+            f"{sorted(primary.hosts)}"
+            + (
+                f"; domain-disjoint stage mesh(es) {alternatives} exist"
+                if alternatives
+                else " (no domain-disjoint stage mesh exists)"
+            ),
+            severity=Severity.ERROR if alternatives else Severity.WARNING,
+        )
+    return report

@@ -14,7 +14,9 @@ Schema (all sizes in elements; nbytes defaults to fp32)::
     {
       "description": "...",
       "expect": ["P001"],                      // codes that must fire
-      "cluster": {"n_hosts": 4, "devices_per_host": 2},
+      "cluster": {"n_hosts": 4, "devices_per_host": 2,
+                  "failure_domains": [                     // optional
+                    {"name": "rack0", "hosts": [0, 1], "kind": "rack"}]},
       "shape": [8, 8],
       "src": {"hosts": [0, 1], "spec": "S0R"},
       "dst": {"hosts": [2, 3], "spec": "RS1"},
@@ -54,7 +56,7 @@ from ..core.plan import (
 from ..core.slices import region_size
 from ..core.task import ReshardingTask
 from ..scheduling.problem import Schedule
-from ..sim.cluster import Cluster, ClusterSpec
+from ..sim.cluster import Cluster, ClusterSpec, FailureDomain
 
 __all__ = ["PlanFixture", "load_plan_fixture", "plan_from_dict"]
 
@@ -109,7 +111,16 @@ def _op_from_dict(raw: dict[str, Any], itemsize: int) -> CommOp:
 
 def plan_from_dict(raw: dict[str, Any]) -> CommPlan:
     """Materialize a CommPlan from fixture data, builder checks bypassed."""
-    spec = ClusterSpec(**raw.get("cluster", {}))
+    cluster_raw = dict(raw.get("cluster", {}))
+    cluster_raw["failure_domains"] = tuple(
+        FailureDomain(
+            name=str(d["name"]),
+            hosts=tuple(int(h) for h in d["hosts"]),
+            kind=str(d.get("kind", "rack")),
+        )
+        for d in cluster_raw.get("failure_domains", ())
+    )
+    spec = ClusterSpec(**cluster_raw)
     cluster = Cluster(spec)
     src = DeviceMesh.from_hosts(cluster, [int(h) for h in raw["src"]["hosts"]])
     dst = DeviceMesh.from_hosts(cluster, [int(h) for h in raw["dst"]["hosts"]])

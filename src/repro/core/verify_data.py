@@ -22,6 +22,21 @@ re-rooted op names its actual sender, which the authority check covers;
 retries are invisible at this level because the network either delivered
 the full payload (possibly after retries) or abandoned the op, and
 abandonment shows up in ``TimingResult.failed_ops``.
+
+**Gray corruption** (:class:`repro.sim.faults.CorruptionWindow`) is the
+one fault the timing layer cannot surface on its own: the flow completed
+on time, the bytes are just wrong.  The verifier closes that hole with a
+hard never-silent rule.  A corrupted op whose checksum caught it
+(``TimingResult.corrupted_ops``) had its payload *discarded* by the
+receiver, so it is credited with **no** delivery — if no duplicate
+replica delivery covers the same tile, the gap fails certification
+exactly like an abandoned transfer.  A corrupted op *without* a
+checksum (``unverified_corruption``, possible only for hand-built plans
+that skipped the compiler's emit stamping) means bad bytes were applied
+and nothing in-band could know: the report is never certified, and
+under ``raise_on_error`` it raises before anything else — "maybe-bad
+data certified as good" is the one outcome this module exists to
+prevent.
 """
 
 from __future__ import annotations
@@ -61,10 +76,20 @@ class IntegrityReport:
     n_fallbacks: int = 0
     #: flows the network delivered only after retrying (when known)
     n_retried_flows: int = 0
+    #: ops whose delivery was corrupted and *detected* by checksum
+    #: (payload discarded, no delivery credit)
+    corrupted_ops: tuple[int, ...] = ()
+    #: corrupted ops with no checksum: undetectable in-band, never
+    #: certifiable
+    unverifiable_ops: tuple[int, ...] = ()
 
     @property
     def certified(self) -> bool:
-        return not self.gaps and not self.duplicates
+        return (
+            not self.gaps
+            and not self.duplicates
+            and not self.unverifiable_ops
+        )
 
     def __repr__(self) -> str:
         state = "certified" if self.certified else (
@@ -106,9 +131,16 @@ def verify_delivery(
     appropriate for replica-delivery strategies whose receivers crop.
     """
     task = plan.task
-    failed: frozenset[int] = frozenset(
-        timing.failed_ops if timing is not None else ()
+    corrupted: tuple[int, ...] = (
+        tuple(timing.corrupted_ops) if timing is not None else ()
     )
+    unverifiable: tuple[int, ...] = (
+        tuple(timing.unverified_corruption) if timing is not None else ()
+    )
+    # Detected corruption = discarded payload = no delivery credit.
+    failed: frozenset[int] = frozenset(
+        (timing.failed_ops if timing is not None else ())
+    ) | frozenset(corrupted)
     # Elements delivered per destination device, as (region, count).
     delivered: dict[int, list[Region]] = {d: [] for d in task.dst_mesh.devices}
     # Flat scatter parts per (device, region): list of (lo, hi).
@@ -194,8 +226,17 @@ def verify_delivery(
             if timing is not None
             else 0
         ),
+        corrupted_ops=corrupted,
+        unverifiable_ops=unverifiable,
     )
     if raise_on_error:
+        if report.unverifiable_ops:
+            raise IntegrityError(
+                f"silent corruption possible: op(s) "
+                f"{list(report.unverifiable_ops)[:8]} delivered corrupted "
+                f"bytes but carry no checksum — delivery integrity cannot "
+                f"be certified"
+            )
         if report.gaps:
             raise IntegrityError(
                 f"missing data on {len(report.gaps)} device(s): "

@@ -23,7 +23,13 @@ Every recovery reshard is executed on the data plane and certified by
 must receive every element of its new tile exactly once.
 """
 
-from .checkpoint import Checkpoint, CheckpointConfig, CheckpointStore, optimal_interval
+from .checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointStore,
+    buddy_assignment,
+    optimal_interval,
+)
 from .replan import RecoveryError, RecoveryPlan, ReshardStep, place_stages, replan
 from .runtime import RecoveryEvent, RunReport, simulate_training_run
 
@@ -31,6 +37,7 @@ __all__ = [
     "CheckpointConfig",
     "Checkpoint",
     "CheckpointStore",
+    "buddy_assignment",
     "optimal_interval",
     "place_stages",
     "replan",

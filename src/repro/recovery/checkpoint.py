@@ -7,7 +7,12 @@ host writes the shards it owns to durable storage at
 cost of one checkpoint is the *maximum* per-host write time.
 
 With ``replicate=True`` (the default) stage ``s``'s checkpoint is also
-buddy-replicated onto stage ``(s+1) % S``'s mesh.  That costs extra
+buddy-replicated onto a peer stage's mesh — by default ``(s+1) % S``,
+but when the cluster declares failure domains :func:`buddy_assignment`
+prefers the first ring peer whose hosts share *no* domain with the
+primary's, so a rack/PDU loss cannot take out a shard and its only
+replica together (:mod:`repro.analysis.domains` checks this statically
+as ``F002``).  That costs extra
 bytes per host but buys fail-stop survivability: when a host dies, every
 shard it held still exists on a different host, and recovery becomes a
 genuine cross-mesh resharding problem (buddy mesh -> rebuilt mesh)
@@ -25,7 +30,43 @@ import numpy as np
 
 from ..core.mesh import DeviceMesh
 
-__all__ = ["CheckpointConfig", "Checkpoint", "CheckpointStore", "optimal_interval"]
+__all__ = [
+    "CheckpointConfig",
+    "Checkpoint",
+    "CheckpointStore",
+    "buddy_assignment",
+    "optimal_interval",
+]
+
+
+def buddy_assignment(meshes: list[DeviceMesh]) -> list[int]:
+    """Pick a buddy stage for each stage, avoiding shared failure domains.
+
+    Returns ``out`` where stage ``s``'s checkpoint is buddy-replicated
+    onto ``meshes[out[s]]``.  For each stage the candidates are scanned
+    in ring order ``(s+1) % S, (s+2) % S, ...`` and the first whose
+    hosts share no :class:`~repro.sim.cluster.FailureDomain` with the
+    primary's hosts wins; when every peer shares a domain (or none are
+    declared) the classic ring buddy ``(s+1) % S`` is kept, preserving
+    the original behavior on domain-free clusters.
+    """
+    n = len(meshes)
+    out: list[int] = []
+    for s, primary in enumerate(meshes):
+        spec = primary.cluster.spec
+        chosen = (s + 1) % n
+        if spec.failure_domains:
+            for k in range(1, n):
+                cand = (s + k) % n
+                if not any(
+                    spec.shares_domain(hp, hb)
+                    for hp in primary.hosts
+                    for hb in meshes[cand].hosts
+                ):
+                    chosen = cand
+                    break
+        out.append(chosen)
+    return out
 
 
 @dataclass(frozen=True)
@@ -65,7 +106,8 @@ class Checkpoint:
     ``arrays[s]`` is the *global* (unsharded) state of stage ``s`` —
     the logical content; physically it lives sharded over
     ``primary_meshes[s]`` and, when replicated, also over
-    ``buddy_meshes[s]`` (stage ``(s+1) % S``'s mesh at snapshot time).
+    ``buddy_meshes[s]`` (the :func:`buddy_assignment` peer mesh at
+    snapshot time).
     """
 
     iteration: int
@@ -108,11 +150,11 @@ class CheckpointStore:
     ) -> dict[int, float]:
         """Bytes each host must persist for one snapshot."""
         per_host: dict[int, float] = {}
-        n_stages = len(meshes)
+        buddies = buddy_assignment(meshes) if self.config.replicate else []
         for s, mesh in enumerate(meshes):
             copies = [mesh]
             if self.config.replicate:
-                copies.append(meshes[(s + 1) % n_stages])
+                copies.append(meshes[buddies[s]])
             for m in copies:
                 share = arrays[s].nbytes / max(m.n_devices, 1)
                 for d in m.devices:
@@ -149,14 +191,13 @@ class CheckpointStore:
         """Snapshot ``state`` at ``iteration``; returns the charged cost."""
         if not self.config.enabled:
             return 0.0
-        n_stages = len(meshes)
         self.latest = Checkpoint(
             iteration=iteration,
             time=time,
             arrays={s: a.copy() for s, a in state.items()},
             primary_meshes=list(meshes),
             buddy_meshes=(
-                [meshes[(s + 1) % n_stages] for s in range(n_stages)]
+                [meshes[b] for b in buddy_assignment(meshes)]
                 if self.config.replicate
                 else None
             ),

@@ -251,11 +251,23 @@ def replan(
         raise RecoveryError(
             f"no working host is dead at t={failure_time:g}; nothing to replan"
         )
-    spares = [
-        h
-        for h in cluster.spare_host_ids
-        if h not in dead and h not in used_spares
-    ]
+    # Spares sharing a failure domain with a dead host are suspect: the
+    # domain event that killed the worker may claim them next (or
+    # already did — a down spare is no spare).  Prefer out-of-domain,
+    # currently-up spares; risky ones are kept as a last resort.
+    cspec = cluster.spec
+    spares = sorted(
+        (
+            h
+            for h in cluster.spare_host_ids
+            if h not in dead and h not in used_spares
+        ),
+        key=lambda h: (
+            faults.host_down(h, failure_time),
+            any(cspec.shares_domain(h, d) for d in sorted(dead)),
+            h,
+        ),
+    )
 
     n_stages = len(spec.stage_meshes)
     if len(spares) >= len(dead_working):
@@ -318,7 +330,7 @@ def replan(
             # timing no longer describes what will execute, and the
             # validate pass's clean bill of health no longer applies —
             # re-prove the trimmed plan before trusting it with state.
-            trimmed_report = check_plan(plan)
+            trimmed_report = check_plan(plan, faults=faults_now)
             if not trimmed_report.ok:
                 raise RecoveryError(
                     f"stage {s}: trimmed recovery plan failed static "

@@ -22,6 +22,18 @@ implements the standard three-state machine:
 State changes are appended to :attr:`CircuitBreaker.transitions` as
 ``(time, from_state, to_state)`` so tests and telemetry can assert the
 exact trajectory.
+
+Failures carry a **kind**.  ``kind="compile"`` (the default) means the
+compiler itself misbehaved and counts toward tripping the breaker.
+``kind="partition"`` means the attempt died of a *network partition*
+between the frontend and the worker — the compiler may be perfectly
+healthy, we just couldn't reach it — so it is tallied separately
+(:attr:`CircuitBreaker.partition_failures`) and never advances the
+consecutive-failure count or re-opens a probing breaker.  Conflating
+the two turns every switch hiccup into a full cooldown during which
+healthy compiles are refused; distinguishing them is what lets the
+service degrade *only* for the faults the breaker can actually help
+with.
 """
 
 from __future__ import annotations
@@ -65,6 +77,8 @@ class CircuitBreaker:
         self.opened_at = 0.0
         self.probes_in_flight = 0
         self.probe_successes = 0
+        #: partition-induced failures seen (telemetry; never trip the breaker)
+        self.partition_failures = 0
         #: (time, from_state, to_state) history, oldest first
         self.transitions: list[tuple[float, str, str]] = []
 
@@ -109,7 +123,25 @@ class CircuitBreaker:
         else:
             self.consecutive_failures = 0
 
-    def record_failure(self, now: float) -> None:
+    def record_failure(self, now: float, kind: str = "compile") -> None:
+        """Record one failed attempt.
+
+        ``kind="partition"`` marks a partition-induced timeout: the slot
+        (if this was a probe) is released, the separate
+        :attr:`partition_failures` counter advances, and the breaker's
+        compile-health state is left untouched — an unreachable worker
+        is not evidence of a broken compiler.
+        """
+        if kind not in ("compile", "partition"):
+            raise ValueError(
+                f"unknown failure kind {kind!r}; expected 'compile' or "
+                f"'partition'"
+            )
+        if kind == "partition":
+            self.partition_failures += 1
+            if self.state == HALF_OPEN:
+                self.probes_in_flight -= 1
+            return
         if self.state == HALF_OPEN:
             self.probes_in_flight -= 1
             self._move(OPEN, now)

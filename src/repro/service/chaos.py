@@ -47,6 +47,9 @@ class ServiceChaos:
     slow_extra: float = 0.05
     #: per-attempt probability of a transient compile fault
     fault_rate: float = 0.0
+    #: per-attempt probability the worker is unreachable (network
+    #: partition between frontend and worker — the compiler is fine)
+    partition_rate: float = 0.0
     #: fraction of clients that cancel, and how long after admission
     cancel_rate: float = 0.0
     cancel_after: float = 0.01
@@ -54,7 +57,7 @@ class ServiceChaos:
     poison_requests: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("slow_rate", "fault_rate", "cancel_rate"):
+        for name in ("slow_rate", "fault_rate", "partition_rate", "cancel_rate"):
             v = getattr(self, name)
             if not 0.0 <= v < 1.0:
                 raise ValueError(f"{name} must be in [0, 1), got {v}")
@@ -83,6 +86,15 @@ class ServiceChaos:
             return False
         return (
             seeded_uniform(self.seed, "fault", request_id, attempt) < self.fault_rate
+        )
+
+    def attempt_partitioned(self, request_id: str, attempt: int) -> bool:
+        """Is attempt ``attempt`` cut off by a frontend/worker partition?"""
+        if self.partition_rate <= 0.0:
+            return False
+        return (
+            seeded_uniform(self.seed, "partition", request_id, attempt)
+            < self.partition_rate
         )
 
     def cancels(self, request_id: str) -> bool:

@@ -46,11 +46,21 @@ class TransientCompileFault(Exception):
     reason (injected via :class:`~repro.service.chaos.ServiceChaos` in
     tests; stands in for OOM-killed workers, flaky pass dependencies).
 
-    Counts against both the request's retry budget and the circuit
-    breaker's consecutive-failure window — unlike
-    :class:`~repro.core.validate.PlanValidationError`, which is the
-    *request's* fault and must never trip the breaker.
+    Counts against the request's retry budget; whether it also counts
+    against the circuit breaker's consecutive-failure window depends on
+    ``cause``: ``"compile"`` (the default — the worker itself faulted)
+    does, ``"partition"`` (the worker was unreachable: a network
+    partition between frontend and worker, not a sick compiler) is
+    tallied separately and never trips the breaker.  Unlike either,
+    :class:`~repro.core.validate.PlanValidationError` is the *request's*
+    fault and must never trip the breaker at all.
     """
+
+    def __init__(self, message: str, cause: str = "compile") -> None:
+        super().__init__(message)
+        if cause not in ("compile", "partition"):
+            raise ValueError(f"unknown fault cause {cause!r}")
+        self.cause = cause
 
 
 @dataclass

@@ -356,7 +356,10 @@ class ReshardingService:
             try:
                 compiled = await self._attempt(entry, attempt, track)
             except TransientCompileFault as fault:
-                self._count("service.transient_fault", self._now())
+                if fault.cause == "partition":
+                    self._count("service.partition_fault", self._now())
+                else:
+                    self._count("service.transient_fault", self._now())
                 if not self.config.retry.exhausted(attempt):
                     self._count("service.retries", self._now())
                     await asyncio.sleep(
@@ -364,10 +367,10 @@ class ReshardingService:
                     )
                     self._expire_handles(entry, self._now())
                     if not self._live_handles(entry):
-                        self.breaker.record_failure(self._now())
+                        self.breaker.record_failure(self._now(), kind=fault.cause)
                         return
                     continue
-                self.breaker.record_failure(self._now())
+                self.breaker.record_failure(self._now(), kind=fault.cause)
                 self._count("service.failed", self._now())
                 self._fail_all(entry, f"retries exhausted: {fault}", attempts=attempt)
                 return
@@ -437,6 +440,13 @@ class ReshardingService:
                 service_time += extra
         await asyncio.sleep(service_time)
         try:
+            if self.chaos is not None and self.chaos.attempt_partitioned(
+                leader_id, attempt
+            ):
+                raise TransientCompileFault(
+                    f"worker unreachable on attempt {attempt} of {leader_id}",
+                    cause="partition",
+                )
             if self.chaos is not None and self.chaos.attempt_faults(leader_id, attempt):
                 raise TransientCompileFault(
                     f"injected fault on attempt {attempt} of {leader_id}"

@@ -5,16 +5,20 @@ V100/NVLink/10-Gbps-Ethernet cluster).  See DESIGN.md §2 for the
 substitution argument.
 """
 
-from .cluster import GB, GBPS, Cluster, ClusterSpec, Device, Host
+from .cluster import GB, GBPS, Cluster, ClusterSpec, Device, FailureDomain, Host
 from .collectives import all_reduce, all_to_all, reduce_scatter
 from .events import EventLoop
 from .faults import (
+    FAULT_CATEGORIES,
+    CorruptionWindow,
     DegradedWindow,
+    DomainFailure,
     FaultIncident,
     FaultReport,
     FaultSchedule,
     FlapWindow,
     HostFailure,
+    Partition,
     RetryPolicy,
     StragglerWindow,
 )
@@ -34,6 +38,7 @@ __all__ = [
     "GBPS",
     "Cluster",
     "ClusterSpec",
+    "FailureDomain",
     "Device",
     "Host",
     "EventLoop",
@@ -43,7 +48,11 @@ __all__ = [
     "DegradedWindow",
     "FlapWindow",
     "HostFailure",
+    "DomainFailure",
+    "Partition",
+    "CorruptionWindow",
     "StragglerWindow",
+    "FAULT_CATEGORIES",
     "FaultSchedule",
     "RetryPolicy",
     "FaultIncident",

@@ -18,10 +18,51 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ClusterSpec", "Device", "Host", "Cluster", "GBPS", "GB"]
+__all__ = ["ClusterSpec", "FailureDomain", "Device", "Host", "Cluster", "GBPS", "GB"]
 
 GBPS = 1e9 / 8.0  # 1 Gbit/s in bytes/second
 GB = 1 << 30  # one gibibyte in bytes
+
+#: failure-domain kinds with a conventional meaning (free-form is allowed)
+DOMAIN_KINDS = ("rack", "switch", "pdu", "spine")
+
+
+@dataclass(frozen=True)
+class FailureDomain:
+    """A group of hosts sharing one piece of physical infrastructure.
+
+    Hosts in the same rack share a ToR switch and a PDU; a single
+    infrastructure fault (switch wedge, breaker trip) takes every member
+    down *together*.  Failure domains are pure topology description —
+    :class:`repro.sim.faults.DomainFailure` is the event that downs one,
+    and the recovery/planning layers consult them to keep replicas
+    (buddy checkpoints, broadcast re-roots) out of the blast radius of
+    whatever they are guarding against.
+
+    A host may belong to several domains of different kinds (its rack
+    *and* its PDU group); two hosts "share a domain" if any domain
+    contains both.
+    """
+
+    name: str
+    hosts: tuple[int, ...]
+    kind: str = "rack"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("failure domain needs a non-empty name")
+        if not self.hosts:
+            raise ValueError(f"failure domain {self.name!r} has no member hosts")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise ValueError(f"failure domain {self.name!r} lists a host twice")
+        for h in self.hosts:
+            if not isinstance(h, int) or isinstance(h, bool) or h < 0:
+                raise ValueError(
+                    f"failure domain {self.name!r}: host ids must be "
+                    f"non-negative ints, got {h!r}"
+                )
+        if not self.kind:
+            raise ValueError(f"failure domain {self.name!r} needs a kind")
 
 
 @dataclass(frozen=True)
@@ -56,6 +97,9 @@ class ClusterSpec:
     host_bandwidth_overrides: tuple[tuple[int, float], ...] = ()
     #: trailing hosts held back as warm spares for elastic recovery
     n_spare_hosts: int = 0
+    #: correlated-failure groups (rack / switch / PDU); a host may appear
+    #: in several domains of different kinds
+    failure_domains: tuple[FailureDomain, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
@@ -92,6 +136,21 @@ class ClusterSpec:
                     f"override bandwidth for host {host} must be a positive "
                     f"finite number of bytes/s, got {bw}"
                 )
+        names: set[str] = set()
+        for dom in self.failure_domains:
+            if not isinstance(dom, FailureDomain):
+                raise ValueError(
+                    f"failure_domains entries must be FailureDomain, got {dom!r}"
+                )
+            if dom.name in names:
+                raise ValueError(f"duplicate failure domain name {dom.name!r}")
+            names.add(dom.name)
+            for h in dom.hosts:
+                if not 0 <= h < self.n_hosts:
+                    raise ValueError(
+                        f"failure domain {dom.name!r} references unknown host "
+                        f"{h} (valid: 0..{self.n_hosts - 1})"
+                    )
 
     @property
     def n_devices(self) -> int:
@@ -108,6 +167,29 @@ class ClusterSpec:
             if h == host:
                 return bw
         return self.inter_host_bandwidth
+
+    # -- failure domains -----------------------------------------------
+    def domain(self, name: str) -> FailureDomain:
+        """The failure domain called ``name`` (KeyError if unknown)."""
+        for dom in self.failure_domains:
+            if dom.name == name:
+                return dom
+        raise KeyError(f"no failure domain named {name!r}")
+
+    def domains_of_host(self, host: int) -> tuple[FailureDomain, ...]:
+        """Every failure domain ``host`` belongs to (declaration order)."""
+        return tuple(d for d in self.failure_domains if host in d.hosts)
+
+    def shares_domain(self, a: int, b: int) -> bool:
+        """True if any failure domain contains both hosts.
+
+        A host trivially shares every one of its domains with itself;
+        callers comparing a host against itself get ``True`` whenever the
+        host belongs to at least one domain.
+        """
+        return any(
+            a in d.hosts and b in d.hosts for d in self.failure_domains
+        )
 
 
 @dataclass(frozen=True)

@@ -43,10 +43,14 @@ __all__ = [
     "FlapWindow",
     "StragglerWindow",
     "HostFailure",
+    "DomainFailure",
+    "Partition",
+    "CorruptionWindow",
     "FaultSchedule",
     "RetryPolicy",
     "FaultIncident",
     "FaultReport",
+    "FAULT_CATEGORIES",
 ]
 
 
@@ -157,6 +161,117 @@ class HostFailure:
             raise ValueError(f"failure time must be >= 0, got {self.time}")
 
 
+@dataclass(frozen=True)
+class DomainFailure:
+    """One correlated event downs every host of a failure domain at once.
+
+    ``hosts`` is the member list (snapshot of the
+    :class:`repro.sim.cluster.FailureDomain` at schedule-build time, so
+    the schedule stays self-contained pure data); ``domain`` names it for
+    reporting.  ``duration=None`` is fail-stop: the whole rack dies at
+    ``time`` and never comes back (breaker trip, ToR bricked).  A finite
+    ``duration`` is a correlated outage window: every member NIC is down
+    for the window and comes back (switch reboot).
+    """
+
+    domain: str
+    hosts: tuple[int, ...]
+    time: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise ValueError(f"domain failure {self.domain!r} downs no hosts")
+        if self.time < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.time}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"domain outage duration must be positive (or None for "
+                f"permanent), got {self.duration}"
+            )
+
+    @property
+    def permanent(self) -> bool:
+        return self.duration is None
+
+    @property
+    def end(self) -> float:
+        return float("inf") if self.duration is None else self.time + self.duration
+
+    def active(self, t: float) -> bool:
+        return self.time <= t < self.end
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Asymmetric network partition: ``src_hosts`` cannot reach ``dst_hosts``.
+
+    Distinct from host-down: every member NIC keeps full capacity for all
+    other traffic, but flows from a source host to a destination host in
+    the window fail (fast on admission, killed mid-flight at onset).
+    Reachability is *directional* — the reverse path works unless a
+    second Partition covers it — modelling gray routing faults
+    (asymmetric ACL pushes, one-way link corrosion, split-brain spines).
+    """
+
+    src_hosts: tuple[int, ...]
+    dst_hosts: tuple[int, ...]
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not self.src_hosts or not self.dst_hosts:
+            raise ValueError("partition needs non-empty src and dst host sets")
+        if self.duration <= 0:
+            raise ValueError(f"window duration must be positive, got {self.duration}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def blocks(self, src_host: int, dst_host: int, t: float) -> bool:
+        return (
+            self.active(t)
+            and src_host in self.src_hosts
+            and dst_host in self.dst_hosts
+        )
+
+
+@dataclass(frozen=True)
+class CorruptionWindow:
+    """Gray NIC: flows through ``host`` complete on time but deliver bad bytes.
+
+    The network simulator never fails these flows — they finish with
+    normal timing and the collective proceeds, exactly like a silently
+    corrupting NIC/DMA engine.  Detection is end-to-end only: per-slice
+    checksums stamped on :class:`repro.core.plan.CommOp` at emission let
+    the executor and :mod:`repro.core.verify_data` catch the corruption
+    after the fact.  ``rate`` is the per-delivery corruption probability,
+    decided by a seeded hash of the flow id.
+    """
+
+    host: int
+    start: float
+    duration: float
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"window duration must be positive, got {self.duration}")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"corruption rate must be in (0, 1], got {self.rate}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
 # ----------------------------------------------------------------------
 # Schedule
 # ----------------------------------------------------------------------
@@ -176,6 +291,9 @@ class FaultSchedule:
     stragglers: tuple[StragglerWindow, ...] = ()
     drop_rate: float = 0.0
     host_failures: tuple[HostFailure, ...] = ()
+    domain_failures: tuple[DomainFailure, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    corruptions: tuple[CorruptionWindow, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_rate < 1.0:
@@ -184,31 +302,108 @@ class FaultSchedule:
     # -- permanent failures --------------------------------------------
     def host_dead(self, host: int, t: float) -> bool:
         """True once ``host`` has permanently failed at or before ``t``."""
-        return any(f.host == host and t >= f.time for f in self.host_failures)
+        if any(f.host == host and t >= f.time for f in self.host_failures):
+            return True
+        return any(
+            d.permanent and host in d.hosts and t >= d.time
+            for d in self.domain_failures
+        )
 
     def failed_hosts(self, t: float) -> frozenset[int]:
         """Hosts permanently dead at time ``t``."""
-        return frozenset(f.host for f in self.host_failures if t >= f.time)
+        dead = {f.host for f in self.host_failures if t >= f.time}
+        for d in self.domain_failures:
+            if d.permanent and t >= d.time:
+                dead.update(d.hosts)
+        return frozenset(dead)
 
     def first_host_failure(self, after: float = 0.0) -> Optional[HostFailure]:
-        """Earliest permanent failure at or after ``after`` (None if clear)."""
+        """Earliest permanent failure at or after ``after`` (None if clear).
+
+        Permanent :class:`DomainFailure` events count too — each is
+        reported as a synthetic :class:`HostFailure` of its lowest member
+        host, so the recovery runtime reacts to a rack loss the same way
+        it reacts to a lone host death (and then discovers the full
+        blast radius via :meth:`failed_hosts`).
+        """
         upcoming = [f for f in self.host_failures if f.time >= after]
+        upcoming += [
+            HostFailure(host=min(d.hosts), time=d.time)
+            for d in self.domain_failures
+            if d.permanent and d.time >= after
+        ]
         return min(upcoming, key=lambda f: (f.time, f.host), default=None)
+
+    def failed_domain_of(self, host: int, t: float) -> Optional[str]:
+        """Name of a failure domain downing ``host`` at ``t`` (None if none).
+
+        Covers both permanent and windowed domain failures; used for
+        fault attribution (``categories()``) and the F003 analyzer check.
+        """
+        for d in self.domain_failures:
+            if host in d.hosts and d.active(t):
+                return d.domain
+        return None
 
     # -- NIC capacity --------------------------------------------------
     def host_down(self, host: int, t: float) -> bool:
         """True while ``host``'s NIC is flapped down — or dead — at ``t``."""
-        return self.host_dead(host, t) or any(
+        if self.host_dead(host, t) or any(
             w.host == host and w.active(t) for w in self.flaps
+        ):
+            return True
+        return any(
+            not d.permanent and host in d.hosts and d.active(t)
+            for d in self.domain_failures
         )
 
     def host_down_during(self, host: int, start: float, end: float) -> bool:
         """True if ``host`` is flapped or dead anywhere in [start, end)."""
         if any(f.host == host and f.time < end for f in self.host_failures):
             return True
+        if any(
+            host in d.hosts and d.time < end and start < d.end
+            for d in self.domain_failures
+        ):
+            return True
         return any(
             w.host == host and w.start < end and start < w.end for w in self.flaps
         )
+
+    # -- partitions ----------------------------------------------------
+    def partitioned(self, src_host: int, dst_host: int, t: float) -> bool:
+        """True while ``src_host`` cannot reach ``dst_host`` at ``t``."""
+        return any(p.blocks(src_host, dst_host, t) for p in self.partitions)
+
+    # -- gray corruption -----------------------------------------------
+    def corruption_rate(self, host: int, t: float) -> float:
+        """Probability a delivery through ``host`` at ``t`` is corrupted.
+
+        Overlapping windows compound as independent corruption sources:
+        ``1 - prod(1 - rate)``.
+        """
+        clean = 1.0
+        for w in self.corruptions:
+            if w.host == host and w.active(t):
+                clean *= 1.0 - w.rate
+        return 1.0 - clean
+
+    def should_corrupt(self, hosts, t: float, *key) -> bool:
+        """Deterministically decide whether one delivery is corrupted.
+
+        ``hosts`` are the hosts whose NICs the flow traverses; the draw
+        is keyed on the schedule seed plus the flow's stable id, so
+        replays corrupt the identical deliveries.
+        """
+        if not self.corruptions:
+            return False
+        clean = 1.0
+        for h in hosts:
+            clean *= 1.0 - self.corruption_rate(h, t)
+        rate = 1.0 - clean
+        if rate <= 0.0:
+            return False
+        return _uniform(self.seed, "corrupt", *key) < rate
 
     def nic_factor(self, host: int, t: float) -> float:
         """Capacity multiplier of ``host``'s NIC at ``t`` (0 when down)."""
@@ -245,7 +440,14 @@ class FaultSchedule:
         return max(acc / horizon, 1e-6)
 
     def boundaries(self) -> tuple[float, ...]:
-        """Sorted instants at which any NIC's capacity changes."""
+        """Sorted instants at which any NIC's capacity or reachability changes.
+
+        Partition edges are included even though capacity is untouched:
+        the network re-examines in-flight flows at every boundary, which
+        is how a partition onset kills flows already crossing it.
+        Corruption windows contribute nothing — they are decided at
+        delivery time and never change flow timing.
+        """
         pts: set[float] = set()
         for w in self.degradations:
             pts.add(w.start)
@@ -255,6 +457,13 @@ class FaultSchedule:
             pts.add(w.end)
         for f in self.host_failures:
             pts.add(f.time)
+        for d in self.domain_failures:
+            pts.add(d.time)
+            if not d.permanent:
+                pts.add(d.end)
+        for p in self.partitions:
+            pts.add(p.start)
+            pts.add(p.end)
         return tuple(sorted(pts))
 
     def horizon(self) -> float:
@@ -266,6 +475,9 @@ class FaultSchedule:
         """
         ends = [w.end for w in self.degradations + self.flaps + self.stragglers]
         ends += [f.time for f in self.host_failures]
+        ends += [d.time if d.permanent else d.end for d in self.domain_failures]
+        ends += [p.end for p in self.partitions]
+        ends += [w.end for w in self.corruptions]
         return max(ends, default=0.0)
 
     # -- re-anchoring ---------------------------------------------------
@@ -277,7 +489,10 @@ class FaultSchedule:
         every window to the new origin.  Windows fully in the past are
         dropped, windows straddling the origin are clipped to their
         remaining duration, and past permanent failures stay dead at
-        t=0.  ``seed`` and ``drop_rate`` are preserved.
+        t=0 — but are *clipped to one event per victim*: a host that
+        failed three times before the origin becomes a single t=0
+        failure, not three redundant ones.  ``seed`` and ``drop_rate``
+        are preserved.
         """
         if origin < 0:
             raise ValueError(f"origin must be >= 0, got {origin}")
@@ -293,6 +508,37 @@ class FaultSchedule:
                 out.append(make(w, start, w.end - origin - start))
             return tuple(out)
 
+        # Permanent failures that began before the new origin stay dead
+        # at t=0; duplicates per host collapse to the single earliest
+        # clamped event (a dead host cannot die again).
+        failures: list[HostFailure] = []
+        clamped: set[int] = set()
+        for f in self.host_failures:
+            t = max(f.time - origin, 0.0)
+            if t == 0.0:
+                if f.host in clamped:
+                    continue
+                clamped.add(f.host)
+            failures.append(HostFailure(f.host, t))
+
+        dom_failures: list[DomainFailure] = []
+        dom_clamped: set[str] = set()
+        for d in self.domain_failures:
+            if d.permanent:
+                t = max(d.time - origin, 0.0)
+                if t == 0.0:
+                    if d.domain in dom_clamped:
+                        continue
+                    dom_clamped.add(d.domain)
+                dom_failures.append(DomainFailure(d.domain, d.hosts, t, None))
+            else:
+                if d.end <= origin:
+                    continue
+                start = max(d.time - origin, 0.0)
+                dom_failures.append(
+                    DomainFailure(d.domain, d.hosts, start, d.end - origin - start)
+                )
+
         return FaultSchedule(
             seed=self.seed,
             degradations=clip(
@@ -305,9 +551,15 @@ class FaultSchedule:
                 lambda w, s, d: StragglerWindow(w.stage, s, d, w.slowdown),
             ),
             drop_rate=self.drop_rate,
-            host_failures=tuple(
-                HostFailure(f.host, max(f.time - origin, 0.0))
-                for f in self.host_failures
+            host_failures=tuple(failures),
+            domain_failures=tuple(dom_failures),
+            partitions=clip(
+                self.partitions,
+                lambda p, s, d: Partition(p.src_hosts, p.dst_hosts, s, d),
+            ),
+            corruptions=clip(
+                self.corruptions,
+                lambda w, s, d: CorruptionWindow(w.host, s, d, w.rate),
             ),
         )
 
@@ -342,12 +594,25 @@ class FaultSchedule:
         min_factor: float = 0.2,
         max_window_frac: float = 0.25,
         n_host_failures: int = 0,
+        domains: tuple = (),
+        n_domain_failures: int = 0,
+        n_partitions: int = 0,
+        n_corruptions: int = 0,
     ) -> "FaultSchedule":
         """Build a randomized, replayable schedule for ``n_hosts`` hosts.
 
         Window starts, durations, victims, and severities are drawn from
         ``random.Random(seed)``; the same arguments always produce the
         identical schedule.
+
+        The correlated and gray classes draw via :func:`seeded_uniform`
+        keyed on ``(seed, class, index)`` instead of the sequential
+        stream, so enabling them never perturbs the independent events a
+        seed produced before they existed.  ``domains`` (a tuple of
+        :class:`repro.sim.cluster.FailureDomain`) supplies the victim
+        pool for domain failures and partitions; with it empty,
+        ``n_domain_failures`` is ignored and partitions split single
+        hosts off the fabric.
         """
         if n_hosts < 1:
             raise ValueError("n_hosts must be >= 1")
@@ -390,6 +655,55 @@ class FaultSchedule:
             host = candidates[rng.randrange(len(candidates))]
             failed.append(host)
             failures.append(HostFailure(host=host, time=rng.uniform(0.0, horizon)))
+
+        # Correlated + gray classes: independent seeded_uniform draws so
+        # that n_*=0 reproduces the historical schedule byte-for-byte.
+        dom_failures: list[DomainFailure] = []
+        struck: list[str] = []
+        if domains:
+            for i in range(n_domain_failures):
+                pool = [d for d in domains if d.name not in struck]
+                if not pool:
+                    break
+                dom = pool[int(_uniform(seed, "domfail", i, "which") * len(pool))]
+                struck.append(dom.name)
+                onset = _uniform(seed, "domfail", i, "time") * horizon
+                permanent = _uniform(seed, "domfail", i, "perm") < 0.5
+                duration = None if permanent else (
+                    (0.05 + 0.95 * _uniform(seed, "domfail", i, "dur"))
+                    * max_window_frac * horizon
+                )
+                dom_failures.append(
+                    DomainFailure(dom.name, tuple(dom.hosts), onset, duration)
+                )
+        partitions: list[Partition] = []
+        for i in range(n_partitions):
+            if domains:
+                dom = domains[int(_uniform(seed, "part", i, "src") * len(domains))]
+                srcs = tuple(dom.hosts)
+            else:
+                srcs = (int(_uniform(seed, "part", i, "src") * n_hosts),)
+            dsts = tuple(h for h in range(n_hosts) if h not in srcs)
+            if not dsts:
+                continue
+            start = _uniform(seed, "part", i, "time") * horizon
+            duration = (
+                (0.05 + 0.95 * _uniform(seed, "part", i, "dur"))
+                * max_window_frac * horizon
+            )
+            partitions.append(Partition(srcs, dsts, start, duration))
+        corruptions = tuple(
+            CorruptionWindow(
+                host=int(_uniform(seed, "corrwin", i, "host") * n_hosts),
+                start=_uniform(seed, "corrwin", i, "time") * horizon,
+                duration=(
+                    (0.05 + 0.95 * _uniform(seed, "corrwin", i, "dur"))
+                    * max_window_frac * horizon
+                ),
+                rate=0.25 + 0.75 * _uniform(seed, "corrwin", i, "rate"),
+            )
+            for i in range(n_corruptions)
+        )
         return cls(
             seed=seed,
             degradations=degradations,
@@ -397,6 +711,9 @@ class FaultSchedule:
             stragglers=stragglers,
             drop_rate=drop_rate,
             host_failures=tuple(failures),
+            domain_failures=tuple(dom_failures),
+            partitions=tuple(partitions),
+            corruptions=corruptions,
         )
 
 
@@ -455,6 +772,36 @@ class FaultIncident:
     resolved: bool = True
 
 
+#: stable category keys of :meth:`FaultReport.categories`, in fixed order
+FAULT_CATEGORIES = (
+    "degraded",
+    "flap",
+    "drop",
+    "straggler",
+    "host",
+    "domain",
+    "partition",
+    "corruption",
+)
+
+#: incident ``kind`` -> category; unknown kinds land in "drop" (a lost
+#: delivery with no finer attribution) so the summary never crashes on a
+#: kind added later — but every kind the repo emits is mapped here.
+_KIND_CATEGORY = {
+    "degraded": "degraded",
+    "timeout": "degraded",  # an attempt stretched past its bound
+    "nic-flap": "flap",
+    "nic-down": "flap",
+    "dropped": "drop",
+    "message-lost": "drop",
+    "straggler": "straggler",
+    "host-down": "host",
+    "domain-down": "domain",
+    "partition": "partition",
+    "corruption": "corruption",
+}
+
+
 @dataclass
 class FaultReport:
     """Structured outcome of a run under fault injection.
@@ -496,6 +843,20 @@ class FaultReport:
         self.escalations.append(f"{self.status}->fatal: {detail}")
         self.status = "fatal"
         self.detail = f"{self.detail}; {detail}" if self.detail else detail
+
+    def categories(self) -> dict[str, int]:
+        """Incident counts bucketed by stable category.
+
+        Returns every key of :data:`FAULT_CATEGORIES` (zero-filled, fixed
+        order) so tests and telemetry consume
+        ``report.categories()["partition"]`` instead of string-matching
+        incident reprs.  Each incident counts once, under the category of
+        its ``kind``.
+        """
+        out = {c: 0 for c in FAULT_CATEGORIES}
+        for inc in self.incidents:
+            out[_KIND_CATEGORY.get(inc.kind, "drop")] += 1
+        return out
 
     @property
     def recovered(self) -> bool:

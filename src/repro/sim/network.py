@@ -38,6 +38,19 @@ the ``on_abandon`` callback.  The trace distinguishes first-try
 (``ok``), retried-to-success (``retried``), per-attempt ``failed``, and
 ``abandoned`` records.  Without a schedule every fault hook is skipped,
 so the healthy path is byte-identical to the fault-free simulator.
+
+Failure attribution is causal, not just symptomatic: a flow killed by a
+correlated :class:`~repro.sim.faults.DomainFailure` records a
+``domain-down`` incident, a lone dead host ``host-down``, a flap
+``nic-flap``/``nic-down`` — so ``FaultReport.categories()`` can tell a
+rack loss from a flaky NIC.  Asymmetric
+:class:`~repro.sim.faults.Partition` windows are honoured distinctly
+from host-down: affected src→dst flows fail (``partition``) while all
+other traffic through the same NICs proceeds at full rate.  Gray
+:class:`~repro.sim.faults.CorruptionWindow` events never fail a flow at
+all: the delivery completes with normal timing, is marked
+``corrupted`` in the trace, and is only caught downstream by per-slice
+checksums (:mod:`repro.core.verify_data`).
 """
 
 from __future__ import annotations
@@ -179,6 +192,10 @@ class Network:
         self.wasted_bytes = 0.0  # transferred by attempts that failed
         self.added_latency = 0.0  # estimated time lost to faults
         self.incidents: list[FaultIncident] = []
+        self.n_corrupted = 0
+        #: (tag, flow_id) of deliveries that completed with bad bytes —
+        #: the executor joins these against CommOp checksums
+        self.corrupted_flows: list[tuple[str, int]] = []
         if faults is not None:
             # NIC capacity is piecewise-constant between fault window
             # boundaries; revisit rate allocation (and kill flows caught
@@ -213,6 +230,43 @@ class Network:
         return any(
             p[0] == "n" and self.faults.host_down(int(p[2:]), now)
             for p in flow.ports
+        )
+
+    def _down_reason_for(self, flow: Flow, flap_kind: str) -> Optional[str]:
+        """Causal incident kind if a traversed NIC is down, else None.
+
+        Priority: a correlated domain outage beats an independent host
+        death beats a flap — when several explanations overlap, the
+        incident blames the widest blast radius.  ``flap_kind`` names the
+        flap case ("nic-down" fast-fail vs "nic-flap" mid-flight).
+        """
+        assert self.faults is not None
+        now = self.loop.now
+        reason = None
+        for p in flow.ports:
+            if p[0] != "n":
+                continue
+            h = int(p[2:])
+            if not self.faults.host_down(h, now):
+                continue
+            if self.faults.failed_domain_of(h, now) is not None:
+                return "domain-down"
+            if self.faults.host_dead(h, now):
+                reason = "host-down"
+            elif reason is None:
+                reason = flap_kind
+        return reason
+
+    def _partition_blocked(self, flow: Flow) -> bool:
+        """True while an asymmetric partition blocks this flow's path."""
+        assert self.faults is not None
+        if not self.faults.partitions:
+            return False
+        c = self.cluster
+        if c.same_host(flow.src, flow.dst):
+            return False
+        return self.faults.partitioned(
+            c.host_of(flow.src), c.host_of(flow.dst), self.loop.now
         )
 
     # ------------------------------------------------------------------
@@ -303,12 +357,17 @@ class Network:
     # ------------------------------------------------------------------
     def _activate(self, flow: Flow) -> None:
         self._advance_to_now()
-        if self.faults is not None and self._nic_down_for(flow):
-            # Fast-fail: the NIC is down, the transfer cannot start.
-            # start_time stays -1 — the flow never became active.
-            self._fail_flow(flow, "nic-down")
-            self._reallocate_and_schedule()
-            return
+        if self.faults is not None:
+            reason = self._down_reason_for(flow, "nic-down")
+            if reason is None and self._partition_blocked(flow):
+                reason = "partition"
+            if reason is not None:
+                # Fast-fail: the transfer cannot start (NIC down or the
+                # destination is unreachable from here).  start_time
+                # stays -1 — the flow never became active.
+                self._fail_flow(flow, reason)
+                self._reallocate_and_schedule()
+                return
         flow.start_time = self.loop.now
         if flow.remaining <= 0.0:
             self._finish(flow)
@@ -414,6 +473,7 @@ class Network:
         self._reallocate_and_schedule()
 
     def _finish(self, flow: Flow) -> None:
+        corrupted = False
         if self.faults is not None:
             self._cancel_timeout(flow)
             if self.faults.should_drop(flow.flow_id, flow.attempts):
@@ -422,6 +482,18 @@ class Network:
                 flow.remaining = 0.0
                 self._fail_flow(flow, "dropped")
                 return
+            if self.faults.corruptions:
+                # Gray failure: the delivery completes with normal
+                # timing but the bytes are bad.  The network does NOT
+                # fail or retry the flow — nothing at this layer can
+                # see the corruption; only end-to-end checksums
+                # (executor + verify_data) catch it downstream.
+                hosts = sorted(
+                    {int(p[2:]) for p in flow.ports if p[0] == "n"}
+                )
+                corrupted = self.faults.should_corrupt(
+                    hosts, self.loop.now, flow.flow_id, flow.attempts
+                )
         flow.finish_time = self.loop.now
         flow.remaining = 0.0
         if self.cluster.same_host(flow.src, flow.dst):
@@ -430,7 +502,24 @@ class Network:
         else:
             self.bytes_cross_host += flow.nbytes
             self._c_cross.add(flow.nbytes)
-        self._emit_flow(flow, "ok" if flow.attempts == 1 else "retried")
+        if corrupted:
+            self.n_corrupted += 1
+            self.corrupted_flows.append((flow.tag, flow.flow_id))
+            self.incidents.append(
+                FaultIncident(
+                    kind="corruption",
+                    where=(
+                        f"flow {flow.flow_id} d{flow.src}->d{flow.dst} "
+                        f"[{flow.tag}]"
+                    ),
+                    time=self.loop.now,
+                    attempt=flow.attempts,
+                    resolved=False,  # nothing at this layer resolves it
+                )
+            )
+            self._emit_flow(flow, "corrupted")
+        else:
+            self._emit_flow(flow, "ok" if flow.attempts == 1 else "retried")
         if flow.on_complete is not None:
             flow.on_complete(flow)
 
@@ -502,14 +591,28 @@ class Network:
     def _on_fault_boundary(self) -> None:
         """A fault window opened or closed: rates change right now."""
         self._advance_to_now()
-        victims = [f for f in self._active.values() if self._nic_down_for(f)]
-        for f in victims:
-            # Mid-flight NIC flap: partial progress is lost.
-            self._fail_flow(f, "nic-flap")
+        victims: list[tuple[Flow, str]] = []
+        for f in self._active.values():
+            # Mid-flight kill: partial progress is lost.  Attribution is
+            # causal (domain-down > host-down > nic-flap > partition).
+            reason = self._down_reason_for(f, "nic-flap")
+            if reason is None and self._partition_blocked(f):
+                reason = "partition"
+            if reason is not None:
+                victims.append((f, reason))
+        for f, reason in victims:
+            self._fail_flow(f, reason)
         self._reallocate_and_schedule()
 
     def fault_report(self) -> Optional[FaultReport]:
-        """Summary of fault activity; ``None`` without a FaultSchedule."""
+        """Summary of fault activity; ``None`` without a FaultSchedule.
+
+        Gray corruption does *not* move ``status`` here: at the flow
+        layer the delivery looked healthy, which is the point of a gray
+        failure.  Corruption incidents are in ``incidents`` (and hence
+        ``categories()``); the executor escalates the report to fatal
+        when per-op checksums expose the bad bytes.
+        """
         if self.faults is None:
             return None
         if self.n_abandoned:

@@ -1,0 +1,519 @@
+"""Correlated failure domains, gray failures, and domain-aware recovery.
+
+Covers the failure-domain tentpole end to end:
+
+* :class:`~repro.sim.cluster.FailureDomain` topology on ``ClusterSpec``;
+* the correlated/gray event classes — :class:`DomainFailure` (a rack
+  dies together), :class:`Partition` (asymmetric reachability), and
+  :class:`CorruptionWindow` (flows complete on time, deliver bad bytes);
+* their network semantics, including causal fault attribution;
+* detection: per-slice checksums catching corruption as a first-class
+  category, and the never-silent guarantee (checksum-less corruption is
+  *unverifiable* and refuses certification loudly);
+* domain-aware recovery placement: F001/F003 plan diagnostics, F002
+  buddy-checkpoint checks, ``buddy_assignment``, and replan spare
+  preference.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    check_checkpoint_domains,
+    check_plan,
+    load_plan_fixture,
+    meshes_share_domain,
+)
+from repro.core.executor import simulate_plan
+from repro.core.mesh import DeviceMesh
+from repro.core.task import ReshardingTask
+from repro.core.verify_data import IntegrityError, verify_delivery
+from repro.compiler import CompileContext, compile_resharding
+from repro.recovery import buddy_assignment
+from repro.sim import Cluster, ClusterSpec, GB, Network
+from repro.sim.cluster import FailureDomain
+from repro.sim.faults import (
+    CorruptionWindow,
+    DomainFailure,
+    FaultSchedule,
+    Partition,
+    RetryPolicy,
+)
+from repro.strategies import BroadcastStrategy
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "bad_plans"
+
+
+def domain_cluster(n_hosts=4, devices_per_host=2, **kw):
+    if "failure_domains" in kw:
+        domains = kw.pop("failure_domains")
+    else:
+        domains = (
+            FailureDomain("rack0", (0, 1)),
+            FailureDomain("rack1", tuple(range(2, n_hosts))),
+        )
+    return Cluster(
+        ClusterSpec(
+            n_hosts=n_hosts,
+            devices_per_host=devices_per_host,
+            failure_domains=domains,
+            inter_host_latency=0.0,
+            intra_host_latency=0.0,
+            **kw,
+        )
+    )
+
+
+def make_net(faults=None, policy=None, **kw) -> Network:
+    return Network(domain_cluster(**kw), faults=faults, retry_policy=policy)
+
+
+# ----------------------------------------------------------------------
+# FailureDomain topology on ClusterSpec
+# ----------------------------------------------------------------------
+class TestFailureDomainTopology:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            FailureDomain("", (0,))
+        with pytest.raises(ValueError, match="member hosts"):
+            FailureDomain("rack0", ())
+        with pytest.raises(ValueError, match="twice"):
+            FailureDomain("rack0", (0, 0))
+
+    def test_spec_lookup_helpers(self):
+        spec = domain_cluster().spec
+        assert spec.domain("rack0").hosts == (0, 1)
+        with pytest.raises(KeyError):
+            spec.domain("rack9")
+        assert [d.name for d in spec.domains_of_host(1)] == ["rack0"]
+        assert spec.shares_domain(0, 1)
+        assert not spec.shares_domain(1, 2)
+        # A host is trivially in every domain it is in ("shares" with self).
+        assert spec.shares_domain(2, 2)
+
+    def test_overlapping_kinds(self):
+        # One host can sit in a rack domain AND a pdu domain; sharing
+        # either one counts.
+        spec = domain_cluster(
+            failure_domains=(
+                FailureDomain("rack0", (0, 1), kind="rack"),
+                FailureDomain("pdu-a", (1, 2), kind="pdu"),
+            )
+        ).spec
+        assert spec.shares_domain(0, 1) and spec.shares_domain(1, 2)
+        assert not spec.shares_domain(0, 2)
+        assert {d.name for d in spec.domains_of_host(1)} == {"rack0", "pdu-a"}
+
+    def test_no_domains_shares_nothing(self):
+        spec = Cluster(ClusterSpec(n_hosts=4, devices_per_host=2)).spec
+        assert not spec.shares_domain(0, 1)
+        assert spec.domains_of_host(0) == ()
+
+
+# ----------------------------------------------------------------------
+# DomainFailure schedule semantics
+# ----------------------------------------------------------------------
+class TestDomainFailureSchedule:
+    def test_permanent_downs_all_members_forever(self):
+        fs = FaultSchedule(
+            domain_failures=(DomainFailure("rack0", (0, 1), 2.0, None),)
+        )
+        for h in (0, 1):
+            assert not fs.host_down(h, 1.9)
+            assert fs.host_down(h, 2.0) and fs.host_down(h, 1e9)
+        assert not fs.host_down(2, 1e9)
+        assert fs.failed_hosts(3.0) == frozenset({0, 1})
+        assert fs.failed_domain_of(1, 3.0) == "rack0"
+        assert fs.failed_domain_of(1, 1.0) is None
+        assert fs.failed_domain_of(2, 3.0) is None
+
+    def test_window_outage_recovers(self):
+        fs = FaultSchedule(
+            domain_failures=(DomainFailure("rack0", (0, 1), 2.0, 3.0),)
+        )
+        assert fs.host_down(0, 3.0) and fs.host_down(1, 4.9)
+        assert not fs.host_down(0, 5.0)  # switch rebooted
+        assert 2.0 in fs.boundaries() and 5.0 in fs.boundaries()
+
+    def test_permanent_domain_counts_as_first_host_failure(self):
+        fs = FaultSchedule(
+            domain_failures=(DomainFailure("rack0", (3, 1), 2.0, None),)
+        )
+        strike = fs.first_host_failure()
+        # Reported as the lowest member host so the recovery runtime
+        # reacts to a rack loss like a lone host death.
+        assert strike is not None
+        assert (strike.host, strike.time) == (1, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="downs no hosts"):
+            DomainFailure("rack0", (), 0.0, None)
+        with pytest.raises(ValueError, match="duration"):
+            DomainFailure("rack0", (0,), 0.0, 0.0)
+        with pytest.raises(ValueError, match="time"):
+            DomainFailure("rack0", (0,), -1.0, None)
+
+
+# ----------------------------------------------------------------------
+# Network semantics of the three new event classes
+# ----------------------------------------------------------------------
+class TestNetworkDomainFailure:
+    def test_correlated_outage_kills_member_flows_with_domain_kind(self):
+        fs = FaultSchedule(
+            domain_failures=(DomainFailure("rack0", (0, 1), 0.0, None),)
+        )
+        net = make_net(faults=fs, policy=RetryPolicy(max_attempts=2,
+                                                     backoff_base=1e-3,
+                                                     jitter=0.0))
+        # host 1 (devices 2-3) is in the failed domain; host 2/3 are not.
+        f_dead = net.start_flow(2, 6, GB)
+        f_ok = net.start_flow(4, 6, GB)
+        net.run()
+        assert f_dead.abandoned and not f_ok.abandoned
+        rep = net.fault_report()
+        assert rep.fatal
+        assert any(i.kind == "domain-down" for i in rep.incidents)
+        assert rep.categories()["domain"] >= 1
+
+    def test_domain_down_outranks_flap_in_attribution(self):
+        # Causal attribution: when a whole rack is down, a member's
+        # flap window must not claim the incident.
+        from repro.sim.faults import FlapWindow
+
+        fs = FaultSchedule(
+            domain_failures=(DomainFailure("rack0", (0, 1), 0.0, 10.0),),
+            flaps=(FlapWindow(host=1, start=0.0, duration=10.0),),
+        )
+        net = make_net(faults=fs, policy=RetryPolicy(max_attempts=2,
+                                                     backoff_base=1e-3,
+                                                     jitter=0.0))
+        net.start_flow(2, 6, GB)
+        net.run()
+        kinds = {i.kind for i in net.fault_report().incidents}
+        assert "domain-down" in kinds and "nic-flap" not in kinds
+
+
+class TestNetworkPartition:
+    def test_partition_is_directional(self):
+        fs = FaultSchedule(
+            partitions=(Partition((0,), (1,), 0.0, 1e9),)
+        )
+        net = make_net(faults=fs, policy=RetryPolicy(max_attempts=2,
+                                                     backoff_base=1e-3,
+                                                     jitter=0.0))
+        blocked = net.start_flow(0, 2, GB)   # host 0 -> host 1: blocked
+        reverse = net.start_flow(2, 0, GB)   # host 1 -> host 0: fine
+        bystander = net.start_flow(0, 4, GB)  # host 0 -> host 2: fine
+        net.run()
+        assert blocked.abandoned
+        assert not reverse.abandoned and not bystander.abandoned
+        rep = net.fault_report()
+        assert any(i.kind == "partition" for i in rep.incidents)
+        assert rep.categories()["partition"] >= 1
+
+    def test_partition_window_heals(self):
+        fs = FaultSchedule(partitions=(Partition((0,), (1,), 0.0, 0.05),))
+        T = GB / make_net().cluster.spec.inter_host_bandwidth
+        net = make_net(
+            faults=fs,
+            policy=RetryPolicy(max_attempts=20, backoff_base=0.03, jitter=0.0),
+        )
+        f = net.start_flow(0, 2, GB)
+        net.run()
+        assert not f.abandoned
+        assert f.finish_time >= 0.05  # had to wait out the partition
+        assert net.fault_report().recovered
+
+    def test_partitioned_predicate(self):
+        fs = FaultSchedule(partitions=(Partition((0, 1), (2,), 1.0, 2.0),))
+        assert fs.partitioned(0, 2, 1.5) and fs.partitioned(1, 2, 1.5)
+        assert not fs.partitioned(2, 0, 1.5)  # reverse path fine
+        assert not fs.partitioned(0, 2, 0.5)  # before the window
+        assert not fs.partitioned(0, 2, 3.0)  # after it
+
+
+class TestNetworkCorruption:
+    def test_gray_corruption_completes_on_time(self):
+        fs = FaultSchedule(
+            corruptions=(CorruptionWindow(host=1, start=0.0, duration=1e9,
+                                          rate=1.0 - 1e-12),)
+        )
+        clean = make_net()
+        g = clean.start_flow(0, 2, GB)
+        clean.run()
+        net = make_net(faults=fs)
+        f = net.start_flow(0, 2, GB)
+        net.run()
+        # The point of a gray failure: timing is indistinguishable.
+        assert f.finish_time == g.finish_time
+        assert not f.abandoned and f.attempts == 1
+        assert net.corrupted_flows and net.n_corrupted == 1
+        trace = [r for r in net.trace if r.flow_id == f.flow_id]
+        assert trace[-1].status == "corrupted"
+        rep = net.fault_report()
+        # Flow-level status stays healthy-looking; only the incident
+        # list (and downstream checksums) reveal the corruption.
+        assert rep.status == "clean"
+        assert any(i.kind == "corruption" for i in rep.incidents)
+        assert rep.categories()["corruption"] == 1
+
+    def test_corruption_rate_is_seeded_and_partial(self):
+        fs = FaultSchedule(
+            seed=5,
+            corruptions=(CorruptionWindow(host=1, start=0.0, duration=1e9,
+                                          rate=0.5),),
+        )
+        draws = [fs.should_corrupt((0, 1), 0.0, i) for i in range(2000)]
+        assert draws == [fs.should_corrupt((0, 1), 0.0, i) for i in range(2000)]
+        rate = sum(draws) / len(draws)
+        assert 0.42 < rate < 0.58
+        # Outside the window nothing corrupts.
+        assert not any(fs.should_corrupt((0, 1), -1.0, i) for i in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            CorruptionWindow(host=0, start=0.0, duration=1.0, rate=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            CorruptionWindow(host=0, start=0.0, duration=1.0, rate=1.5)
+
+
+# ----------------------------------------------------------------------
+# Detection: checksums and the never-silent guarantee
+# ----------------------------------------------------------------------
+def corrupting_schedule(dst_hosts):
+    return FaultSchedule(
+        seed=0,
+        corruptions=tuple(
+            CorruptionWindow(host=h, start=0.0, duration=1e9, rate=1.0 - 1e-12)
+            for h in dst_hosts
+        ),
+    )
+
+
+def broadcast_task():
+    cluster = domain_cluster()
+    src = DeviceMesh.from_hosts(cluster, [0, 1])
+    dst = DeviceMesh.from_hosts(cluster, [2, 3])
+    return ReshardingTask((64, 64), src, "S0R", dst, "RS0")
+
+
+class TestCorruptionDetection:
+    def test_compiled_plan_detects_corruption_via_checksums(self):
+        task = broadcast_task()
+        faults = corrupting_schedule([2, 3])
+        compiled = compile_resharding(
+            task, CompileContext(strategy=BroadcastStrategy(), faults=faults,
+                                 cache=None)
+        )
+        plan = compiled.plan
+        assert all(op.checksum for op in plan.ops)  # EmitPass stamped them
+        timing = simulate_plan(plan, faults=faults, retry_policy=RetryPolicy())
+        assert timing.corrupted_ops and not timing.unverified_corruption
+        # Checksummed detection escalates the report: loud, never gray.
+        assert timing.fault_report.fatal
+        assert timing.fault_report.escalations
+        # Detected corruption earns no delivery credit -> gaps -> raises.
+        with pytest.raises(IntegrityError, match="missing data"):
+            verify_delivery(plan, timing)
+        report = verify_delivery(plan, timing, raise_on_error=False)
+        assert not report.certified
+        assert report.corrupted_ops == timing.corrupted_ops
+
+    def test_checksum_less_plan_is_never_silently_certified(self):
+        # A hand-built plan (no compiler emit pass) has no checksums:
+        # corruption through it is undetectable in-band, so the verifier
+        # must refuse certification *loudly* — this is the one outcome
+        # the integrity layer exists to make impossible.
+        task = broadcast_task()
+        faults = corrupting_schedule([2, 3])
+        from dataclasses import replace
+
+        compiled = BroadcastStrategy().plan(task)
+        plan = replace(
+            compiled,
+            ops=tuple(replace(op, checksum="") for op in compiled.ops),
+        )
+        assert all(not op.checksum for op in plan.ops)
+        timing = simulate_plan(plan, faults=faults, retry_policy=RetryPolicy())
+        assert timing.unverified_corruption and not timing.corrupted_ops
+        # The unverifiable-corruption error outranks every other finding.
+        with pytest.raises(IntegrityError, match="silent corruption possible"):
+            verify_delivery(plan, timing)
+        report = verify_delivery(plan, timing, raise_on_error=False)
+        assert not report.certified
+        assert report.unverifiable_ops == timing.unverified_corruption
+
+    def test_clean_run_certifies_with_checksums_present(self):
+        task = broadcast_task()
+        compiled = compile_resharding(
+            task, CompileContext(strategy=BroadcastStrategy(), cache=None)
+        )
+        timing = simulate_plan(compiled.plan)
+        assert timing.corrupted_ops == () and timing.unverified_corruption == ()
+        assert verify_delivery(compiled.plan, timing).certified
+
+
+# ----------------------------------------------------------------------
+# Domain-aware placement: F001 / F002 / F003
+# ----------------------------------------------------------------------
+class TestDomainDiagnostics:
+    def test_f001_fixture_rejected(self):
+        fixture = load_plan_fixture(FIXTURES / "f001_reroot_same_domain.json")
+        report = check_plan(fixture.plan)
+        assert "F001" in report.codes
+        assert any(d.code == "F001" for d in report.errors)
+
+    def test_f003_scheduled_sender_in_failed_domain(self):
+        fixture = load_plan_fixture(FIXTURES / "f001_reroot_same_domain.json")
+        faults = FaultSchedule(
+            domain_failures=(DomainFailure("rack0", (0, 1), 0.0, None),)
+        )
+        report = check_plan(fixture.plan, faults=faults)
+        # The schedule assigns the op to host 1, inside the failed
+        # rack0, while live out-of-domain sender host 2 exists.
+        assert "F003" in report.codes
+        assert any(d.code == "F003" for d in report.errors)
+
+    def test_f003_quiet_without_faults_or_without_failed_domains(self):
+        fixture = load_plan_fixture(FIXTURES / "f001_reroot_same_domain.json")
+        assert "F003" not in check_plan(fixture.plan).codes
+        healthy = FaultSchedule(
+            domain_failures=(DomainFailure("rack1", (2, 3), 50.0, 1.0),)
+        )
+        # rack1 fails long after t=0 scheduling; nothing to flag.
+        assert "F003" not in check_plan(fixture.plan, faults=healthy).codes
+
+    def test_f002_buddy_in_same_domain(self):
+        cluster = domain_cluster(n_hosts=4)
+        m = [DeviceMesh.from_hosts(cluster, [h]) for h in range(4)]
+        # Stage 0 on host 0, buddy on host 1: both in rack0, while the
+        # rack1 meshes prove a safe alternative exists -> ERROR.
+        report = check_checkpoint_domains([m[0], m[2], m[3]],
+                                          [m[1], m[3], m[2]],
+                                          cluster.spec)
+        assert "F002" in report.codes
+        assert any(d.code == "F002" for d in report.errors)
+
+    def test_f002_clean_when_buddies_cross_domains(self):
+        cluster = domain_cluster(n_hosts=4)
+        m = [DeviceMesh.from_hosts(cluster, [h]) for h in range(4)]
+        report = check_checkpoint_domains([m[0], m[2]], [m[2], m[0]],
+                                          cluster.spec)
+        assert report.codes == set()
+
+    def test_f002_demotes_to_warning_when_unavoidable(self):
+        # Every host shares the single domain: no placement can escape,
+        # so the finding is advisory, not a build-breaker.
+        cluster = domain_cluster(
+            n_hosts=2,
+            failure_domains=(FailureDomain("rack0", (0, 1)),),
+        )
+        m = [DeviceMesh.from_hosts(cluster, [h]) for h in range(2)]
+        report = check_checkpoint_domains([m[0]], [m[1]], cluster.spec)
+        assert "F002" in report.codes
+        assert not report.errors
+
+    def test_f002_mismatched_stage_lists_rejected(self):
+        cluster = domain_cluster(n_hosts=4)
+        m = [DeviceMesh.from_hosts(cluster, [h]) for h in range(4)]
+        with pytest.raises(ValueError):
+            check_checkpoint_domains([m[0]], [m[1], m[2]], cluster.spec)
+
+    def test_meshes_share_domain(self):
+        cluster = domain_cluster(n_hosts=4)
+        m = [DeviceMesh.from_hosts(cluster, [h]) for h in range(4)]
+        assert meshes_share_domain(m[0], m[1], cluster.spec)
+        assert not meshes_share_domain(m[0], m[2], cluster.spec)
+
+
+class TestBuddyAssignment:
+    def test_ring_buddy_without_domains(self):
+        cluster = Cluster(ClusterSpec(n_hosts=3, devices_per_host=2))
+        meshes = [DeviceMesh.from_hosts(cluster, [h]) for h in range(3)]
+        assert buddy_assignment(meshes) == [1, 2, 0]
+
+    def test_skips_same_domain_ring_neighbor(self):
+        cluster = domain_cluster(
+            n_hosts=3,
+            failure_domains=(FailureDomain("rack01", (0, 1)),),
+        )
+        meshes = [DeviceMesh.from_hosts(cluster, [h]) for h in range(3)]
+        # Stage 0's ring buddy (stage 1) shares rack01 -> skip to stage 2.
+        assert buddy_assignment(meshes) == [2, 2, 0]
+
+    def test_falls_back_to_ring_when_every_peer_shares(self):
+        cluster = domain_cluster(
+            n_hosts=2,
+            failure_domains=(FailureDomain("rack0", (0, 1)),),
+        )
+        meshes = [DeviceMesh.from_hosts(cluster, [h]) for h in range(2)]
+        assert buddy_assignment(meshes) == [1, 0]
+
+
+# ----------------------------------------------------------------------
+# Domain-aware replan: spares outside the blast radius win
+# ----------------------------------------------------------------------
+class TestDomainAwareReplan:
+    def job(self, failure_domains):
+        from repro.models.gpt import GPTConfig, build_gpt
+
+        cluster = Cluster(
+            ClusterSpec(
+                n_hosts=4,
+                devices_per_host=4,
+                n_spare_hosts=2,
+                failure_domains=failure_domains,
+            )
+        )
+        config = GPTConfig(name="GPT-small", n_layers=4, hidden=1024,
+                           dp=2, op=2, pp=2)
+        return build_gpt(config, cluster=cluster)
+
+    def test_prefers_out_of_domain_spare(self):
+        from repro.recovery import CheckpointConfig, simulate_training_run
+        from repro.sim.faults import HostFailure
+
+        # Worker host 1 shares rackA with spare 2; spare 3 is clear.
+        spec = self.job((
+            FailureDomain("rack0", (0,)),
+            FailureDomain("rackA", (1, 2)),
+            FailureDomain("rackB", (3,)),
+        ))
+        faults = FaultSchedule(host_failures=(HostFailure(1, 10.0),))
+        rep = simulate_training_run(
+            spec, 6, faults=faults, config=CheckpointConfig(interval=2)
+        )
+        (event,) = rep.events
+        assert event.mode == "substitute"
+        assert event.promoted_spares == (3,)
+        assert event.certified
+
+    def test_lowest_spare_wins_without_domains(self):
+        from repro.recovery import CheckpointConfig, simulate_training_run
+        from repro.sim.faults import HostFailure
+
+        spec = self.job(())
+        faults = FaultSchedule(host_failures=(HostFailure(1, 10.0),))
+        rep = simulate_training_run(
+            spec, 6, faults=faults, config=CheckpointConfig(interval=2)
+        )
+        (event,) = rep.events
+        assert event.promoted_spares == (2,)
+        assert event.certified
+
+
+# ----------------------------------------------------------------------
+# Loader round-trips failure domains
+# ----------------------------------------------------------------------
+def test_fixture_loader_parses_failure_domains():
+    raw = json.loads(
+        (FIXTURES / "f001_reroot_same_domain.json").read_text(encoding="utf-8")
+    )
+    fixture = load_plan_fixture(FIXTURES / "f001_reroot_same_domain.json")
+    spec = fixture.plan.task.cluster.spec
+    assert [d["name"] for d in raw["cluster"]["failure_domains"]] == [
+        d.name for d in spec.failure_domains
+    ]
+    assert spec.shares_domain(0, 1) and not spec.shares_domain(1, 2)

@@ -277,3 +277,123 @@ def test_healthy_network_unaffected_by_fault_plumbing():
         for r in nofault.trace
     ]
     assert rec == rec2
+
+
+# ----------------------------------------------------------------------
+# Satellites: mean_nic_factor coverage, categories(), shifted() clipping
+# ----------------------------------------------------------------------
+def test_mean_nic_factor_overlapping_windows():
+    from repro.sim.faults import DegradedWindow
+
+    fs = FaultSchedule(
+        seed=0,
+        degradations=(
+            DegradedWindow(host=0, start=0.0, duration=4.0, factor=0.5),
+            DegradedWindow(host=0, start=2.0, duration=4.0, factor=0.5),
+        ),
+    )
+    # [0,2): 0.5, [2,4): 0.25 (windows compound), [4,6): 0.5, [6,8): 1.0
+    expected = (2 * 0.5 + 2 * 0.25 + 2 * 0.5 + 2 * 1.0) / 8.0
+    assert fs.mean_nic_factor(0, horizon=8.0) == pytest.approx(expected)
+
+
+def test_mean_nic_factor_explicit_short_horizon():
+    from repro.sim.faults import DegradedWindow
+
+    fs = FaultSchedule(
+        seed=0,
+        degradations=(DegradedWindow(host=0, start=1.0, duration=9.0, factor=0.5),),
+    )
+    # A horizon shorter than the window's end only averages the part of
+    # the window actually inside [0, horizon).
+    assert fs.mean_nic_factor(0, horizon=2.0) == pytest.approx(
+        (1.0 * 1.0 + 1.0 * 0.5) / 2.0
+    )
+    # Horizon entirely before the window: nothing degraded yet.
+    assert fs.mean_nic_factor(0, horizon=1.0) == pytest.approx(1.0)
+
+
+def test_fault_report_categories_zero_filled_and_stable():
+    from repro.sim.faults import FAULT_CATEGORIES, FaultIncident
+
+    empty = FaultReport(status="clean")
+    assert tuple(empty.categories()) == FAULT_CATEGORIES
+    assert all(v == 0 for v in empty.categories().values())
+
+    rep = FaultReport(
+        status="fatal",
+        incidents=[
+            FaultIncident(kind="nic-flap", where="flow 0", time=0.1),
+            FaultIncident(kind="nic-down", where="flow 1", time=0.2),
+            FaultIncident(kind="domain-down", where="flow 2", time=0.3),
+            FaultIncident(kind="partition", where="flow 3", time=0.4),
+            FaultIncident(kind="corruption", where="flow 4", time=0.5),
+            FaultIncident(kind="host-down", where="flow 5", time=0.6),
+            FaultIncident(kind="timeout", where="flow 6", time=0.7),
+            FaultIncident(kind="dropped", where="flow 7", time=0.8),
+            # Unknown kinds must not crash the summary; they land in "drop".
+            FaultIncident(kind="haunted", where="flow 8", time=0.9),
+        ],
+    )
+    cats = rep.categories()
+    assert tuple(cats) == FAULT_CATEGORIES  # fixed key order
+    assert cats["flap"] == 2
+    assert cats["domain"] == 1
+    assert cats["partition"] == 1
+    assert cats["corruption"] == 1
+    assert cats["host"] == 1
+    assert cats["degraded"] == 1  # timeout = an attempt stretched past bound
+    assert cats["drop"] == 2  # dropped + unknown kind
+    assert cats["straggler"] == 0
+    assert sum(cats.values()) == len(rep.incidents)
+
+
+def test_shifted_clips_pre_origin_host_failures_to_one_event():
+    from repro.sim.faults import HostFailure
+
+    # Regression (satellite 1): a host that failed repeatedly before the
+    # new origin used to re-emit one synthetic t=0 failure per past
+    # event; the replan view then saw phantom duplicate strikes.
+    fs = FaultSchedule(
+        seed=0,
+        host_failures=(
+            HostFailure(1, 1.0),
+            HostFailure(1, 2.0),
+            HostFailure(2, 3.0),
+            HostFailure(3, 9.0),
+        ),
+    )
+    sh = fs.shifted(5.0)
+    assert sh.host_failures == (
+        HostFailure(1, 0.0),
+        HostFailure(2, 0.0),
+        HostFailure(3, 4.0),
+    )
+    # Idempotent on the already-shifted view.
+    assert sh.shifted(0.0) is sh
+
+
+def test_shifted_clips_domain_partition_and_corruption_windows():
+    from repro.sim.faults import CorruptionWindow, DomainFailure, Partition
+
+    fs = FaultSchedule(
+        seed=0,
+        domain_failures=(
+            DomainFailure("rack0", (0, 1), 1.0, None),
+            DomainFailure("rack0", (0, 1), 2.0, None),  # dup pre-origin strike
+            DomainFailure("rack1", (2, 3), 4.0, 4.0),
+        ),
+        partitions=(
+            Partition((0,), (2,), 1.0, 2.0),  # fully past -> dropped
+            Partition((1,), (3,), 4.0, 4.0),  # straddles -> clipped
+        ),
+        corruptions=(CorruptionWindow(host=2, start=6.0, duration=2.0, rate=0.5),),
+    )
+    sh = fs.shifted(5.0)
+    # Permanent domain failures collapse to one t=0 event per domain.
+    assert sh.domain_failures == (
+        DomainFailure("rack0", (0, 1), 0.0, None),
+        DomainFailure("rack1", (2, 3), 0.0, 3.0),
+    )
+    assert sh.partitions == (Partition((1,), (3,), 0.0, 3.0),)
+    assert sh.corruptions == (CorruptionWindow(host=2, start=1.0, duration=2.0, rate=0.5),)

@@ -496,3 +496,88 @@ def test_seeded_uniform_is_deterministic():
     assert seeded_uniform(1, "x", 2) == seeded_uniform(1, "x", 2)
     assert seeded_uniform(1, "x", 2) != seeded_uniform(1, "x", 3)
     assert 0.0 <= seeded_uniform("anything") < 1.0
+
+
+# ----------------------------------------------------------------------
+# Partition-induced faults vs. compile overload (failure-domain PR)
+# ----------------------------------------------------------------------
+def test_breaker_partition_failures_never_trip():
+    b = CircuitBreaker(BreakerConfig(failure_threshold=2, cooldown=1.0,
+                                     half_open_probes=1))
+    for i in range(10):
+        b.record_failure(float(i), kind="partition")
+    # A network partition says nothing about compiler health: the
+    # breaker stays closed no matter how many timeouts it explains.
+    assert b.state == "closed"
+    assert b.partition_failures == 10
+    # Genuine compile failures still trip at the configured threshold.
+    b.record_failure(20.0)
+    b.record_failure(20.1)
+    assert b.state == "open"
+
+
+def test_breaker_partition_failure_during_probe_keeps_half_open():
+    b = CircuitBreaker(BreakerConfig(failure_threshold=1, cooldown=1.0,
+                                     half_open_probes=1))
+    b.record_failure(0.0)
+    assert b.allow(1.5) == "probe"
+    # The probe's failure is attributed to a partition: don't re-open —
+    # release the probe slot so the next request can probe again.
+    b.record_failure(1.6, kind="partition")
+    assert b.state == "half_open"
+    assert b.allow(1.7) == "probe"
+    b.record_success(1.8)
+    assert b.state == "closed"
+
+
+def test_breaker_rejects_unknown_failure_kind():
+    b = CircuitBreaker(BreakerConfig(failure_threshold=2, cooldown=1.0,
+                                     half_open_probes=1))
+    with pytest.raises(ValueError, match="kind"):
+        b.record_failure(0.0, kind="gremlins")
+
+
+def test_partition_faults_retried_and_counted_separately():
+    task = make_task()
+    from repro.service import ServiceChaos
+
+    chaos = None
+    for seed in range(200):
+        candidate = ServiceChaos(seed=seed, partition_rate=0.5)
+        if candidate.attempt_partitioned("r0", 1) and not (
+            candidate.attempt_partitioned("r0", 2)
+        ):
+            chaos = candidate
+            break
+    assert chaos is not None
+    assert chaos.attempt_partitioned("r0", 1)  # seeded -> replayable
+
+    async def main():
+        service = ReshardingService(
+            service_config(retry=RetryPolicy(max_attempts=3, backoff_base=0.01)),
+            chaos=chaos,
+        )
+        await service.start()
+        response = await service.submit(
+            CompileRequest(request_id="r0", tenant="t", task=task))
+        await service.shutdown()
+        return service, response
+
+    service, response = run_virtual(main())
+    assert response.ok
+    assert response.attempts == 2
+    totals = service.bus.counter_totals()
+    assert totals["service/service.partition_fault"] == 1
+    assert "service/service.transient_fault" not in totals
+    # Partition-induced retries must not push the breaker toward open.
+    assert service.breaker.state == "closed"
+
+
+def test_service_chaos_validates_partition_rate():
+    from repro.service import ServiceChaos
+
+    with pytest.raises(ValueError, match="partition_rate"):
+        ServiceChaos(partition_rate=-0.1)
+    with pytest.raises(ValueError, match="partition_rate"):
+        ServiceChaos(partition_rate=1.0)
+    assert not ServiceChaos(partition_rate=0.0).attempt_partitioned("r", 1)
