@@ -1,0 +1,64 @@
+"""Topology-zoo benchmark: the strategy x topology makespan heatmap.
+
+Runs the E8 zoo (quick mode: 16 MB fan-out from 2 replica hosts to 6
+receiving hosts on every topology in the zoo) and persists the raw
+makespans to ``benchmarks/results/BENCH_topology.json`` — a committed,
+machine-independent artifact; the flow simulator is deterministic, so
+CI's ``topology-smoke`` job regenerates it and fails on drift.
+
+The persistence test doubles as the acceptance gate for the topology
+refactor's headline claims:
+
+* switch multicast strictly beats the ring broadcast on at least one
+  topology (it wins on every switched fabric in the zoo);
+* the 4:1 oversubscribed fat-tree is strictly slower than the
+  non-blocking fat-tree of identical shape — oversubscription is priced
+  by the max-min fixpoint, not asserted;
+* the switchless torus honestly reports multicast as unsupported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from persist import persist_bench
+from repro.experiments.topology_zoo import STRATEGIES, payload, zoo_specs
+
+
+def test_persist_topology_bench() -> None:
+    """Regenerate and persist the committed BENCH_topology.json artifact."""
+    data = payload(quick=True)
+    grid = data["makespans"]
+    assert set(grid) == set(zoo_specs())
+    for topo, row in grid.items():
+        assert set(row) == set(STRATEGIES)
+        assert row["broadcast"] is not None and row["broadcast"] > 0
+        assert row["allgather"] is not None and row["allgather"] > 0
+
+    # Multicast must strictly beat broadcast somewhere (and it should on
+    # every switched fabric); the torus has no switches to replicate on.
+    wins = [
+        topo
+        for topo, row in grid.items()
+        if row["multicast"] is not None and row["multicast"] < row["broadcast"]
+    ]
+    assert wins, f"multicast never beat broadcast: {grid}"
+    assert "fat_tree_4to1" in wins
+    assert grid["torus_2d"]["multicast"] is None
+
+    # Oversubscription must cost: same shape, 4:1 uplinks, slower.
+    assert (
+        grid["fat_tree_4to1"]["broadcast"] > grid["fat_tree_1to1"]["broadcast"]
+    )
+    assert (
+        grid["fat_tree_4to1"]["multicast"] > grid["fat_tree_1to1"]["multicast"]
+    )
+
+    persist_bench("topology", data)
+
+
+@pytest.mark.benchmark(group="topology")
+def test_topology_zoo_quick(benchmark) -> None:
+    """Wall time of one full quick-mode zoo sweep (virtual time inside)."""
+    data = benchmark.pedantic(lambda: payload(quick=True), rounds=1, iterations=1)
+    assert data["makespans"]

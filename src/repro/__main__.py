@@ -93,7 +93,27 @@ def cmd_reshard(args: argparse.Namespace) -> int:
     if len(args.src_mesh) != 2 or len(args.dst_mesh) != 2:
         print("mesh shapes must be 2-D, e.g. 2,4", file=sys.stderr)
         return 2
-    _cluster, src, dst = make_microbench_meshes(args.src_mesh, args.dst_mesh)
+    cluster = None
+    if args.topology:
+        from .sim.cluster import Cluster, ClusterSpec
+        from .sim.topology import make_topology
+
+        n_hosts = args.src_mesh[0] + args.dst_mesh[0]
+        kwargs: dict = {}
+        if args.topology == "torus":
+            kwargs = {"rows": 1, "cols": n_hosts}
+        elif args.topology == "fat_tree":
+            kwargs = {"hosts_per_leaf": max(1, n_hosts // 2)}
+        cluster = Cluster(
+            ClusterSpec(
+                n_hosts=n_hosts,
+                devices_per_host=max(args.src_mesh[1], args.dst_mesh[1]),
+                topology=make_topology(args.topology, **kwargs),
+            )
+        )
+    _cluster, src, dst = make_microbench_meshes(
+        args.src_mesh, args.dst_mesh, cluster=cluster
+    )
     strategies = (
         sorted(set(STRATEGIES) - {"alpa"}) if args.strategy == "all" else [args.strategy]
     )
@@ -554,12 +574,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from .experiments import ablations, fig3, fig5, fig6, fig7, fig8, fig9, table1
+    from .experiments import (
+        ablations,
+        fig3,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        table1,
+        topology_zoo,
+    )
     from .experiments.common import format_markdown
 
     modules = {
         "E1": fig5, "E2": fig6, "E3": table1, "E4": fig7,
         "E5": fig8, "E6": fig9, "E7": fig3, "A0": ablations,
+        "E8": topology_zoo,
     }
     mod = modules[args.id]
     print(format_markdown(mod.run()))
@@ -582,7 +613,14 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument(
         "--strategy",
         default="broadcast",
-        choices=["send_recv", "allgather", "broadcast", "signal", "auto", "all"],
+        choices=["send_recv", "allgather", "broadcast", "multicast", "signal",
+                 "auto", "all"],
+    )
+    r.add_argument(
+        "--topology",
+        choices=["two_tier", "fat_tree", "torus", "rail"],
+        help="cluster topology for the microbench cluster (default: the "
+             "paper's two-tier shape)",
     )
     r.add_argument("--verify", action="store_true",
                    help="move real data and check the destination layout")
@@ -649,7 +687,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.set_defaults(fn=cmd_serve)
 
     x = sub.add_parser("experiment", help="run one paper experiment")
-    x.add_argument("id", choices=["E1", "E2", "E3", "E4", "E5", "E6", "E7", "A0"])
+    x.add_argument(
+        "id", choices=["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A0"]
+    )
     x.set_defaults(fn=cmd_experiment)
 
     t = sub.add_parser("trace", help="replay the last run's telemetry")
@@ -697,7 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument(
         "--strategy",
         default="broadcast",
-        choices=["send_recv", "allgather", "broadcast", "auto"],
+        choices=["send_recv", "allgather", "broadcast", "multicast", "auto"],
     )
     a.add_argument("--verbose", action="store_true",
                    help="print diagnostics even for clean subjects")

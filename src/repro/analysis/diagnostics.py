@@ -47,6 +47,13 @@ code      meaning
           primary while an out-of-domain mesh exists
 ``F003``  scheduled sender host sits inside a failure domain that is
           down at plan time while an out-of-domain replica exists
+``T001``  multicast op names a switch the cluster topology does not
+          define
+``T002``  multicast endpoints outside the claimed switch's span: the
+          sender or a receiver sits on a host the switch does not
+          reach
+``T003``  unroutable op: data moves between hosts the topology has
+          no path for (e.g. across disconnected islands)
 ========  ========================================================
 """
 
@@ -96,6 +103,9 @@ CATALOG: dict[str, str] = {
     "F001": "re-root lands inside the replaced host's failure domain",
     "F002": "buddy checkpoint shares a failure domain with its primary",
     "F003": "scheduled sender sits in a failed domain at plan time",
+    "T001": "multicast names a switch the topology does not define",
+    "T002": "multicast endpoint outside the claimed switch's span",
+    "T003": "op routed between hosts with no topology path",
 }
 
 

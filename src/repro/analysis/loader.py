@@ -16,7 +16,11 @@ Schema (all sizes in elements; nbytes defaults to fp32)::
       "expect": ["P001"],                      // codes that must fire
       "cluster": {"n_hosts": 4, "devices_per_host": 2,
                   "failure_domains": [                     // optional
-                    {"name": "rack0", "hosts": [0, 1], "kind": "rack"}]},
+                    {"name": "rack0", "hosts": [0, 1], "kind": "rack"}],
+                  "topology": {"name": "fat_tree",         // optional
+                               "hosts_per_leaf": 2},
+                  "link_overrides": [                      // optional
+                    {"src": 0, "dst": 1, "bandwidth": 1e9}]},
       "shape": [8, 8],
       "src": {"hosts": [0, 1], "spec": "S0R"},
       "dst": {"hosts": [2, 3], "spec": "RS1"},
@@ -25,6 +29,7 @@ Schema (all sizes in elements; nbytes defaults to fp32)::
         {"kind": "send", "id": 0, "task": 0, "region": [[0, 4], [0, 8]],
          "sender": 0, "receiver": 4, "deps": [1]},
         {"kind": "broadcast", ..., "receivers": [4, 5]},
+        {"kind": "multicast", ..., "receivers": [4, 5], "switch": "leaf0"},
         {"kind": "scatter", ..., "receivers": [4, 5]},
         {"kind": "allgather", ..., "devices": [4, 5]}
       ],
@@ -50,13 +55,15 @@ from ..core.plan import (
     CommOp,
     CommPlan,
     FallbackRecord,
+    MulticastOp,
     ScatterOp,
     SendOp,
 )
 from ..core.slices import region_size
 from ..core.task import ReshardingTask
 from ..scheduling.problem import Schedule
-from ..sim.cluster import Cluster, ClusterSpec, FailureDomain
+from ..sim.cluster import Cluster, ClusterSpec, FailureDomain, LinkOverride
+from ..sim.topology import make_topology
 
 __all__ = ["PlanFixture", "load_plan_fixture", "plan_from_dict"]
 
@@ -96,6 +103,14 @@ def _op_from_dict(raw: dict[str, Any], itemsize: int) -> CommOp:
             n_chunks=int(raw.get("n_chunks", 1)),
             **common,
         )
+    if kind == "multicast":
+        return MulticastOp(
+            sender=int(raw["sender"]),
+            receivers=tuple(int(r) for r in raw["receivers"]),
+            switch=str(raw.get("switch", "")),
+            n_chunks=int(raw.get("n_chunks", 1)),
+            **common,
+        )
     if kind == "scatter":
         return ScatterOp(
             sender=int(raw["sender"]),
@@ -119,6 +134,20 @@ def plan_from_dict(raw: dict[str, Any]) -> CommPlan:
             kind=str(d.get("kind", "rack")),
         )
         for d in cluster_raw.get("failure_domains", ())
+    )
+    if "topology" in cluster_raw:
+        topo_raw = dict(cluster_raw.pop("topology"))
+        cluster_raw["topology"] = make_topology(
+            str(topo_raw.pop("name")), **topo_raw
+        )
+    cluster_raw["link_overrides"] = tuple(
+        LinkOverride(
+            src_host=int(o["src"]),
+            dst_host=int(o["dst"]),
+            bandwidth=(float(o["bandwidth"]) if "bandwidth" in o else None),
+            latency=(float(o["latency"]) if "latency" in o else None),
+        )
+        for o in cluster_raw.get("link_overrides", ())
     )
     spec = ClusterSpec(**cluster_raw)
     cluster = Cluster(spec)

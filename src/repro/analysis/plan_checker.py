@@ -37,6 +37,12 @@ possible once plans carried a schedule and fallback records:
   out-of-domain replica exists (F003).  The checkpoint-placement
   counterpart (F002) lives in :mod:`repro.analysis.domains`.
 
+* **topology coherence** (``T001``/``T002``/``T003``): a multicast op
+  must name a switch the cluster topology actually defines (T001) whose
+  span covers the sender's and every receiver's host (T002), and no op
+  may move data between hosts the topology has no route for (T003) —
+  e.g. across disconnected islands.
+
 The deadlock analysis over the same plan (``D001``) lives in
 :mod:`repro.analysis.deadlock` and is folded into :func:`check_plan`'s
 report.
@@ -53,6 +59,7 @@ from ..core.plan import (
     BroadcastOp,
     CommOp,
     CommPlan,
+    MulticastOp,
     ScatterOp,
     SendOp,
 )
@@ -78,7 +85,7 @@ class Delivery:
 
 
 def _op_sender(op: CommOp) -> Optional[int]:
-    if isinstance(op, (SendOp, BroadcastOp, ScatterOp)):
+    if isinstance(op, (SendOp, BroadcastOp, MulticastOp, ScatterOp)):
         return op.sender
     return None
 
@@ -219,7 +226,7 @@ def _collect_deliveries(
                 )
                 if ok:
                     coverage[op.receiver].append(op.region)
-        elif isinstance(op, BroadcastOp):
+        elif isinstance(op, (BroadcastOp, MulticastOp)):
             for r in op.receivers:
                 if r in dst:
                     deliveries.append(
@@ -508,7 +515,7 @@ def _check_failure_domains(
     """
     task = plan.task
     spec = task.cluster.spec
-    if not spec.failure_domains:
+    if not spec.effective_failure_domains:
         return
     ut_by_id = {ut.task_id: ut for ut in unit_tasks}
 
@@ -578,6 +585,99 @@ def _check_failure_domains(
         )
 
 
+def _check_topology(plan: CommPlan, report: AnalysisReport) -> None:
+    """T001/T002/T003: the plan must be routable on the cluster topology.
+
+    T001: a multicast op names a switch the topology does not define.
+    T002: a multicast op's sender or receivers sit on hosts outside the
+    claimed switch's span — the switch physically cannot replicate to
+    them.  T003: any op moves data between a host pair the topology has
+    no route for (e.g. across disconnected islands) — the flow simulator
+    would raise at execution time; this catches it statically.
+    """
+    cluster = plan.task.cluster
+    topo = cluster.topo
+    topo_name = topo.topology.name
+    switches = {s.name: s for s in topo.switches}
+
+    def host(dev: int) -> Optional[int]:
+        # Out-of-range devices are already reported (P005/P008).
+        if 0 <= dev < cluster.n_devices:
+            return cluster.host_of(dev)
+        return None
+
+    for op in plan.ops:
+        if isinstance(op, MulticastOp):
+            sw = switches.get(op.switch)
+            if sw is None:
+                report.add(
+                    "T001",
+                    f"op {op.op_id}: multicast names switch {op.switch!r}, "
+                    f"which topology {topo_name!r} does not define "
+                    f"(available: {sorted(switches) or 'none'})",
+                    op_ids=(op.op_id,),
+                )
+            else:
+                hosts = {
+                    h
+                    for d in (op.sender, *op.receivers)
+                    if (h := host(d)) is not None
+                }
+                outside = sorted(hosts - set(sw.hosts))
+                if outside:
+                    report.add(
+                        "T002",
+                        f"op {op.op_id}: multicast claims switch "
+                        f"{op.switch!r} (hosts {sorted(sw.hosts)}), but "
+                        f"endpoint host(s) {outside} are outside its span",
+                        op_ids=(op.op_id,),
+                    )
+        sender = _op_sender(op)
+        if sender is not None:
+            sh = host(sender)
+            if isinstance(op, SendOp):
+                dsts = (op.receiver,)
+            elif isinstance(op, (BroadcastOp, MulticastOp, ScatterOp)):
+                dsts = op.receivers
+            else:
+                dsts = ()
+            if sh is not None:
+                unroutable = sorted(
+                    {
+                        rh
+                        for d in dsts
+                        if (rh := host(d)) is not None
+                        and rh != sh
+                        and not topo.has_route(sh, rh)
+                    }
+                )
+                if unroutable:
+                    report.add(
+                        "T003",
+                        f"op {op.op_id}: routed from host {sh} to host(s) "
+                        f"{unroutable}, but topology {topo_name!r} has no "
+                        "path between them",
+                        op_ids=(op.op_id,),
+                    )
+        elif isinstance(op, AllGatherOp):
+            hosts_ag = sorted(
+                {h for d in op.devices if (h := host(d)) is not None}
+            )
+            bad_pairs = [
+                (a, b)
+                for i, a in enumerate(hosts_ag)
+                for b in hosts_ag[i + 1 :]
+                if not topo.has_route(a, b)
+            ]
+            if bad_pairs:
+                report.add(
+                    "T003",
+                    f"op {op.op_id}: all-gather group spans host pair(s) "
+                    f"{bad_pairs} with no topology path between them",
+                    op_ids=(op.op_id,),
+                )
+
+
 def check_plan(
     plan: CommPlan,
     deadlock: bool = True,
@@ -601,6 +701,7 @@ def check_plan(
     unit_tasks = plan.task.unit_tasks(plan.granularity)
     _check_schedule_consistency(plan, unit_tasks, report)
     _check_failure_domains(plan, unit_tasks, faults, report)
+    _check_topology(plan, report)
 
     if plan.data_complete:
         deliveries, coverage = _collect_deliveries(plan, report)

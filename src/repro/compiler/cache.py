@@ -65,6 +65,11 @@ def _cluster_key(spec: ClusterSpec) -> tuple[object, ...]:
         # frozen dataclasses: repr is canonical, so domain membership
         # changes invalidate cached plans like any other spec change
         repr(spec.failure_domains),
+        # the wiring itself: a fat-tree and a torus at identical scalar
+        # speeds compile to different plans (multicast eligibility,
+        # multi-hop pricing), as do per-pair link overrides
+        repr(spec.topology),
+        repr(spec.link_overrides),
     )
 
 

@@ -22,6 +22,27 @@ from .pipeline import CompileContext, CompiledPlan, compile_resharding
 __all__ = ["EdgeResharding"]
 
 
+def _check_routable(task: ReshardingTask) -> None:
+    """Fail fast when the edge crosses hosts the topology cannot connect.
+
+    The compile-time mirror of the analyzer's T003: partial topologies
+    (a custom zoo entry, a partitioned fabric) should reject the stage
+    edge here, with the offending host pair named, rather than surface
+    as a wedged flow deep inside the simulator.
+    """
+    cluster = task.src_mesh.cluster
+    topo = cluster.topo
+    src_hosts = sorted(set(cluster.hosts_of(task.src_mesh.devices)))
+    dst_hosts = sorted(set(cluster.hosts_of(task.dst_mesh.devices)))
+    for sh in src_hosts:
+        for dh in dst_hosts:
+            if sh != dh and not topo.has_route(sh, dh):
+                raise ValueError(
+                    f"stage edge needs host {sh} -> host {dh} but topology "
+                    f"{topo.topology.name!r} defines no route between them"
+                )
+
+
 class EdgeResharding:
     """Both directions of one cross-mesh stage edge, compiled on demand.
 
@@ -37,6 +58,7 @@ class EdgeResharding:
         bwd_task: ReshardingTask,
         ctx: Optional[CompileContext] = None,
     ) -> None:
+        _check_routable(fwd_task)
         self.fwd_task = fwd_task
         self.bwd_task = bwd_task
         self.ctx = ctx if ctx is not None else CompileContext()

@@ -199,7 +199,14 @@ class SelectPass:
         sub_passes = [LowerPass(), SchedulePass(), FaultRewritePass(), EmitPass()]
         best: Optional[tuple[bool, float, PlanState]] = None
         state.scores = []
+        skipped: list[str] = []
         for cand in strategy.candidates:
+            if not cand.supports(state.task):
+                # e.g. switch multicast on a switchless torus: scoring a
+                # plan the fabric cannot execute would be meaningless.
+                skipped.append(cand.name)
+                state.scores.append((cand.name, float("inf")))
+                continue
             sub = PlanState(task=state.task, strategy=cand)
             for p in sub_passes:
                 detail = p.run(sub, ctx)
@@ -213,7 +220,12 @@ class SelectPass:
             if best is None or (fatal, result.total_time) < best[:2]:
                 sub.timing = result
                 best = (fatal, result.total_time, sub)
-        assert best is not None
+        if best is None:
+            raise ValueError(
+                "no auto candidate supports this task on topology "
+                f"{state.task.cluster.topo.topology.name!r} "
+                f"(skipped: {skipped})"
+            )
         winner = best[2]
         state.unit_tasks = winner.unit_tasks
         state.problem = winner.problem
@@ -232,7 +244,10 @@ class SelectPass:
                          strategy=name, latency=latency)
             bus.mark("select.winner", track="compiler",
                      strategy=winner.strategy.name, latency=best[1])
-        return "scored " + ", ".join(f"{n}={t:.4g}s" for n, t in state.scores)
+        return "scored " + ", ".join(
+            f"{n}=skipped" if n in skipped else f"{n}={t:.4g}s"
+            for n, t in state.scores
+        )
 
 
 class SchedulePass:

@@ -11,7 +11,15 @@ from .joint import (
     simulate_joint,
 )
 from .mesh import DeviceMesh
-from .plan import AllGatherOp, BroadcastOp, CommOp, CommPlan, ScatterOp, SendOp
+from .plan import (
+    AllGatherOp,
+    BroadcastOp,
+    CommOp,
+    CommPlan,
+    MulticastOp,
+    ScatterOp,
+    SendOp,
+)
 from .slices import (
     Region,
     TileGrid,
@@ -46,6 +54,7 @@ __all__ = [
     "CommOp",
     "SendOp",
     "BroadcastOp",
+    "MulticastOp",
     "ScatterOp",
     "AllGatherOp",
     "simulate_plan",

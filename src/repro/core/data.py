@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .plan import AllGatherOp, BroadcastOp, CommPlan, ScatterOp, SendOp
+from .plan import AllGatherOp, BroadcastOp, CommPlan, MulticastOp, ScatterOp, SendOp
 from .slices import (
     Region,
     region_intersection,
@@ -89,7 +89,7 @@ def apply_plan(plan: CommPlan, src: DistributedTensor) -> DistributedTensor:
         if isinstance(op, SendOp):
             data = _read_from_source(src, op.sender, op.region)
             stage_region(op.receiver, op.region, data)
-        elif isinstance(op, BroadcastOp):
+        elif isinstance(op, (BroadcastOp, MulticastOp)):
             data = _read_from_source(src, op.sender, op.region)
             for r in op.receivers:
                 stage_region(r, op.region, data)

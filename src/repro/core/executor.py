@@ -23,8 +23,17 @@ from ..sim.primitives import (
     ring_broadcast,
     ring_order,
     scatter,
+    switch_multicast,
 )
-from .plan import AllGatherOp, BroadcastOp, CommOp, CommPlan, ScatterOp, SendOp
+from .plan import (
+    AllGatherOp,
+    BroadcastOp,
+    CommOp,
+    CommPlan,
+    MulticastOp,
+    ScatterOp,
+    SendOp,
+)
 
 __all__ = ["TimingResult", "simulate_plan"]
 
@@ -88,6 +97,16 @@ def _launch_op(network: Network, op: CommOp) -> CollectiveHandle:
             op.sender,
             op.receivers,
             op.nbytes,
+            n_chunks=op.n_chunks,
+            tag=f"op{op.op_id}",
+        )
+    if isinstance(op, MulticastOp):
+        return switch_multicast(
+            network,
+            op.sender,
+            op.receivers,
+            op.nbytes,
+            switch=op.switch,
             n_chunks=op.n_chunks,
             tag=f"op{op.op_id}",
         )
@@ -208,7 +227,7 @@ def simulate_plan(
     def launch(op: CommOp) -> None:
         launched.add(op.op_id)
         op_launch[op.op_id] = net.loop.now
-        if isinstance(op, BroadcastOp) and not op.receivers:
+        if isinstance(op, (BroadcastOp, MulticastOp)) and not op.receivers:
             on_op_done(op, _immediate(net))
             return
         handle = _launch_op(net, op)

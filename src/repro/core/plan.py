@@ -25,6 +25,12 @@ Op kinds:
     the group devices, each holding flat part ``k`` of ``region``
     (from a prior ScatterOp, named via ``deps``), exchange parts so all
     of them hold the full region.
+``MulticastOp``
+    sender delivers the full ``region`` to every receiver via switch
+    replication: one upstream traversal of the named ``switch`` per
+    chunk, replicated downstream to each receiving host concurrently.
+    Requires a topology whose switch spans sender and receivers;
+    receivers crop like BroadcastOp.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ __all__ = [
     "BroadcastOp",
     "ScatterOp",
     "AllGatherOp",
+    "MulticastOp",
     "FallbackRecord",
     "CommPlan",
     "slice_checksum",
@@ -133,6 +140,15 @@ class ScatterOp(CommOp):
 @dataclass(frozen=True)
 class AllGatherOp(CommOp):
     devices: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class MulticastOp(CommOp):
+    sender: int = -1
+    receivers: tuple[int, ...] = ()
+    #: topology switch carrying the replicated send (must span all hosts)
+    switch: str = ""
+    n_chunks: int = 16
 
 
 @dataclass

@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .plan import AllGatherOp, BroadcastOp, CommPlan, ScatterOp, SendOp
+from .plan import AllGatherOp, BroadcastOp, CommPlan, MulticastOp, ScatterOp, SendOp
 from .slices import Region, region_intersection, region_shape, region_size, split_offsets
 
 __all__ = ["IntegrityError", "IntegrityReport", "verify_delivery"]
@@ -156,7 +156,7 @@ def verify_delivery(
                 continue
             if op.receiver in delivered:
                 delivered[op.receiver].append(op.region)
-        elif isinstance(op, BroadcastOp):
+        elif isinstance(op, (BroadcastOp, MulticastOp)):
             if not _sender_is_authoritative(plan, op.sender, op.region):
                 discredited.append(op.op_id)
                 continue

@@ -131,12 +131,7 @@ def build_gpt(
     op_allreduce = 0.0
     if config.op > 1:
         row_devices = [meshes[0].device_at(0, j) for j in range(config.op)]
-        row_hosts = {cluster.host_of(d) for d in row_devices}
-        bw = (
-            cluster.spec.intra_host_bandwidth
-            if len(row_hosts) == 1
-            else cluster.spec.inter_host_bandwidth
-        )
+        bw = cluster.topo.group_bandwidth(cluster.hosts_of(row_devices))
         act_msg = BYTES[config.precision] * b * config.seq_len * config.hidden
         op_allreduce = layers_per_stage * 2.0 * ring_allreduce_time(
             act_msg, config.op, bw
@@ -178,12 +173,7 @@ def build_gpt(
     epilogue = 0.0
     if config.dp > 1:
         mesh0 = meshes[0]
-        one_host = len({cluster.host_of(d) for d in mesh0.devices}) == 1
-        bw = (
-            cluster.spec.intra_host_bandwidth
-            if one_host
-            else cluster.spec.inter_host_bandwidth
-        )
+        bw = cluster.topo.group_bandwidth(cluster.hosts_of(mesh0.devices))
         epilogue = ring_allreduce_time(grad_bytes, config.dp, bw)
 
     return ParallelJobSpec(

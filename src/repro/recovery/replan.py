@@ -33,7 +33,7 @@ from ..compiler import CompileContext, compile_resharding
 from ..core.data import apply_plan
 from ..core.executor import TimingResult, simulate_plan
 from ..core.mesh import DeviceMesh
-from ..core.plan import BroadcastOp, CommPlan, SendOp
+from ..core.plan import BroadcastOp, CommPlan, MulticastOp, SendOp
 from ..core.slices import region_intersection
 from ..core.task import ReshardingTask
 from ..core.tensor import DistributedTensor
@@ -203,7 +203,7 @@ def _trim_local_deliveries(plan: CommPlan) -> CommPlan:
             dropped.add(op.op_id)
             changed = True
             continue
-        if isinstance(op, BroadcastOp):
+        if isinstance(op, (BroadcastOp, MulticastOp)):
             recv = tuple(r for r in op.receivers if not holds(r, op.region))
             if not recv:
                 dropped.add(op.op_id)

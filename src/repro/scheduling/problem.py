@@ -116,10 +116,9 @@ class SchedulingProblem:
             if cross_bandwidth:
                 return cross_bandwidth
             # The broadcast ring's throughput is capped by its slowest
-            # participating NIC (heterogeneous-networking support).
-            bws = [nic_bw(sender_host)]
-            bws += [nic_bw(h) for h in rhosts if h != sender_host]
-            return min(bws)
+            # participating NIC and any contended fabric link on the
+            # root->receiver paths (topology- and override-aware).
+            return rt.cluster.topo.ring_bandwidth(sender_host, rhosts, nic_bw)
 
         tasks = []
         for ut in rt.unit_tasks(granularity):

@@ -17,8 +17,20 @@ in :mod:`repro.sim.network`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-__all__ = ["ClusterSpec", "FailureDomain", "Device", "Host", "Cluster", "GBPS", "GB"]
+from .topology import BoundTopology, Topology
+
+__all__ = [
+    "ClusterSpec",
+    "FailureDomain",
+    "LinkOverride",
+    "Device",
+    "Host",
+    "Cluster",
+    "GBPS",
+    "GB",
+]
 
 GBPS = 1e9 / 8.0  # 1 Gbit/s in bytes/second
 GB = 1 << 30  # one gibibyte in bytes
@@ -66,6 +78,55 @@ class FailureDomain:
 
 
 @dataclass(frozen=True)
+class LinkOverride:
+    """A per-host-pair deviation from the topology's nominal links.
+
+    Models heterogeneous inter-host links (a pair wired at 25 Gbps in a
+    10 Gbps fleet, or a long-haul pair with extra latency) without
+    defining a whole new topology.  ``bandwidth=None`` keeps the
+    topology's path capacity; ``latency=None`` keeps its path latency.
+    Applies to both directions of the pair; each direction gets its own
+    full-duplex port in the flow simulator.
+    """
+
+    src_host: int
+    dst_host: int
+    bandwidth: Optional[float] = None
+    latency: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for h in (self.src_host, self.dst_host):
+            if not isinstance(h, int) or isinstance(h, bool):
+                raise ValueError(
+                    f"link override host ids must be ints, got {h!r}"
+                )
+        if self.src_host == self.dst_host:
+            raise ValueError(
+                f"link override is a self-loop on host {self.src_host} "
+                "(intra-host links are not overridable)"
+            )
+        if self.bandwidth is None and self.latency is None:
+            raise ValueError(
+                f"link override {self.src_host}<->{self.dst_host} sets "
+                "neither bandwidth nor latency"
+            )
+        if self.bandwidth is not None and not (
+            self.bandwidth > 0 and self.bandwidth != float("inf")
+        ):
+            raise ValueError(
+                f"link override {self.src_host}<->{self.dst_host}: bandwidth "
+                f"must be positive and finite, got {self.bandwidth}"
+            )
+        if self.latency is not None and not (
+            0 <= self.latency < float("inf")
+        ):
+            raise ValueError(
+                f"link override {self.src_host}<->{self.dst_host}: latency "
+                f"must be finite and >= 0, got {self.latency}"
+            )
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """Parameters of a simulated GPU cluster.
 
@@ -100,6 +161,10 @@ class ClusterSpec:
     #: correlated-failure groups (rack / switch / PDU); a host may appear
     #: in several domains of different kinds
     failure_domains: tuple[FailureDomain, ...] = ()
+    #: the inter-host fabric shape; None = the paper's two-tier baseline
+    topology: Optional[Topology] = None
+    #: per-host-pair bandwidth/latency deviations (heterogeneous links)
+    link_overrides: tuple[LinkOverride, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
@@ -151,6 +216,38 @@ class ClusterSpec:
                         f"failure domain {dom.name!r} references unknown host "
                         f"{h} (valid: 0..{self.n_hosts - 1})"
                     )
+        if self.topology is not None:
+            if not isinstance(self.topology, Topology):
+                raise ValueError(
+                    f"topology must be a Topology, got {self.topology!r}"
+                )
+            self.topology.validate(self)
+            for dom in self.topology.switches(self):
+                if dom.failure_domain and dom.name in names:
+                    raise ValueError(
+                        f"declared failure domain {dom.name!r} collides with "
+                        f"a topology switch domain of the same name"
+                    )
+        pairs: set[tuple[int, int]] = set()
+        for ov in self.link_overrides:
+            if not isinstance(ov, LinkOverride):
+                raise ValueError(
+                    f"link_overrides entries must be LinkOverride, got {ov!r}"
+                )
+            for h in (ov.src_host, ov.dst_host):
+                if not 0 <= h < self.n_hosts:
+                    raise ValueError(
+                        f"link override {ov.src_host}<->{ov.dst_host} "
+                        f"references unknown host {h} "
+                        f"(valid: 0..{self.n_hosts - 1})"
+                    )
+            pair = (min(ov.src_host, ov.dst_host), max(ov.src_host, ov.dst_host))
+            if pair in pairs:
+                raise ValueError(
+                    f"duplicate link override for host pair "
+                    f"{pair[0]}<->{pair[1]}"
+                )
+            pairs.add(pair)
 
     @property
     def n_devices(self) -> int:
@@ -169,16 +266,39 @@ class ClusterSpec:
         return self.inter_host_bandwidth
 
     # -- failure domains -----------------------------------------------
+    @property
+    def effective_failure_domains(self) -> tuple[FailureDomain, ...]:
+        """Declared domains plus the topology's switch blast radii.
+
+        A topology switch flagged ``failure_domain=True`` (e.g. a
+        fat-tree leaf) is a correlated-failure group exactly like a
+        declared rack/PDU domain: a wedge downs its member hosts
+        together, and re-rooting/replica placement must escape it.  The
+        two-tier baseline contributes none (its core switch spans every
+        host and is deliberately not a domain), so existing specs
+        behave identically.
+        """
+        if self.topology is None:
+            return self.failure_domains
+        switch_domains = tuple(
+            FailureDomain(name=sw.name, hosts=sw.hosts, kind="switch")
+            for sw in self.topology.switches(self)
+            if sw.failure_domain
+        )
+        return self.failure_domains + switch_domains
+
     def domain(self, name: str) -> FailureDomain:
         """The failure domain called ``name`` (KeyError if unknown)."""
-        for dom in self.failure_domains:
+        for dom in self.effective_failure_domains:
             if dom.name == name:
                 return dom
         raise KeyError(f"no failure domain named {name!r}")
 
     def domains_of_host(self, host: int) -> tuple[FailureDomain, ...]:
         """Every failure domain ``host`` belongs to (declaration order)."""
-        return tuple(d for d in self.failure_domains if host in d.hosts)
+        return tuple(
+            d for d in self.effective_failure_domains if host in d.hosts
+        )
 
     def shares_domain(self, a: int, b: int) -> bool:
         """True if any failure domain contains both hosts.
@@ -188,7 +308,8 @@ class ClusterSpec:
         host belongs to at least one domain.
         """
         return any(
-            a in d.hosts and b in d.hosts for d in self.failure_domains
+            a in d.hosts and b in d.hosts
+            for d in self.effective_failure_domains
         )
 
 
@@ -221,6 +342,8 @@ class Cluster:
 
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
+        #: the one pricing oracle for "how fast/far is a from b" queries
+        self.topo = BoundTopology(spec)
         self.devices: list[Device] = []
         self.hosts: list[Host] = []
         for h in range(spec.n_hosts):
@@ -268,14 +391,20 @@ class Cluster:
 
     # ------------------------------------------------------------------
     def link_bandwidth(self, src: int, dst: int) -> float:
-        """Point-to-point bandwidth (bytes/s) between two devices."""
+        """Point-to-point bandwidth (bytes/s) between two devices.
+
+        Cross-host pairs are priced by the bound topology (NIC rates,
+        contended fabric links, per-pair overrides) — the single lookup
+        that used to be three inlined ``intra if same host else inter``
+        ternaries.
+        """
         if src == dst:
             raise ValueError("no link from a device to itself")
         if self.same_host(src, dst):
             return self.spec.intra_host_bandwidth
-        return min(
-            self.spec.host_nic_bandwidth(self.host_of(src)),
-            self.spec.host_nic_bandwidth(self.host_of(dst)),
+        a, b = self.device(src), self.device(dst)
+        return self.topo.path_bandwidth(
+            a.host_id, b.host_id, a.local_id, b.local_id
         )
 
     def link_latency(self, src: int, dst: int) -> float:
@@ -284,7 +413,10 @@ class Cluster:
             raise ValueError("no link from a device to itself")
         if self.same_host(src, dst):
             return self.spec.intra_host_latency
-        return self.spec.inter_host_latency
+        a, b = self.device(src), self.device(dst)
+        return self.topo.path_latency(
+            a.host_id, b.host_id, a.local_id, b.local_id
+        )
 
     def __repr__(self) -> str:
         return (

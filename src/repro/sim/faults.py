@@ -35,7 +35,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import ClusterSpec
 
 __all__ = [
     "seeded_uniform",
@@ -51,6 +54,7 @@ __all__ = [
     "FaultIncident",
     "FaultReport",
     "FAULT_CATEGORIES",
+    "switch_outage",
 ]
 
 
@@ -715,6 +719,29 @@ class FaultSchedule:
             partitions=tuple(partitions),
             corruptions=corruptions,
         )
+
+
+def switch_outage(
+    spec: "ClusterSpec",
+    switch_name: str,
+    time: float,
+    duration: Optional[float] = None,
+) -> DomainFailure:
+    """A topology switch going dark, as a :class:`DomainFailure`.
+
+    A switch is a failure domain: when it dies (ToR bricked, firmware
+    reboot), every host hanging off it loses connectivity at once.
+    This builds the correlated event from the cluster topology's switch
+    definition — ``duration=None`` is fail-stop, a finite duration is a
+    reboot window — so fault scenarios can name fabric elements instead
+    of hand-listing their member hosts.
+    """
+    from .topology import BoundTopology
+
+    sw = BoundTopology(spec).switch(switch_name)
+    return DomainFailure(
+        domain=sw.name, hosts=sw.hosts, time=time, duration=duration
+    )
 
 
 # ----------------------------------------------------------------------

@@ -86,6 +86,8 @@ class Flow:
     abandoned: bool = False
     on_abandon: Optional[Callable[["Flow"], None]] = None
     timeout_event: Optional[Event] = None
+    #: fixed startup latency re-applied on every retry attempt
+    base_latency: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -211,17 +213,24 @@ class Network:
         c = self.cluster
         if c.same_host(src, dst):
             return (f"ds{src}", f"dr{dst}")
-        hs, hd = c.host_of(src), c.host_of(dst)
-        return (f"ds{src}", f"ns{hs}", f"nr{hd}", f"dr{dst}")
+        a, b = c.device(src), c.device(dst)
+        # Contended fabric ports (switch uplinks, torus edges, override
+        # pipes) sit between the two NICs.  The two-tier baseline has
+        # none, so its port tuples — and the max-min fixpoint's float
+        # arithmetic — are byte-identical to the pre-topology model.
+        mid = c.topo.transit_ports(a.host_id, b.host_id, a.local_id, b.local_id)
+        return (f"ds{src}", f"ns{a.host_id}") + mid + (f"nr{b.host_id}", f"dr{dst}")
 
     def _port_capacity(self, port: str) -> float:
         spec = self.cluster.spec
         if port[0] == "d":
             return spec.intra_host_bandwidth
-        bw = spec.host_nic_bandwidth(int(port[2:]))
-        if self.faults is not None:
-            bw *= self.faults.nic_factor(int(port[2:]), self.loop.now)
-        return bw
+        if port[0] == "n":
+            bw = spec.host_nic_bandwidth(int(port[2:]))
+            if self.faults is not None:
+                bw *= self.faults.nic_factor(int(port[2:]), self.loop.now)
+            return bw
+        return self.cluster.topo.port_capacity(port)
 
     def _nic_down_for(self, flow: Flow) -> bool:
         """True if any NIC port the flow traverses is flapped down now."""
@@ -281,6 +290,8 @@ class Network:
         tag: str = "",
         extra_latency: float = 0.0,
         on_abandon: Optional[Callable[[Flow], None]] = None,
+        ports: Optional[tuple[str, ...]] = None,
+        latency: Optional[float] = None,
     ) -> Flow:
         """Submit a transfer of ``nbytes`` from device ``src`` to ``dst``.
 
@@ -290,26 +301,35 @@ class Network:
         fires at the finish instant.  Under fault injection a flow that
         exhausts its retry budget fires ``on_abandon`` instead (never
         both).
+
+        ``ports``/``latency`` override the routed path: collective
+        primitives that traverse only a *segment* of the fabric (e.g.
+        the switch-replicated legs of a multicast) price exactly the
+        resources that segment holds instead of a full device-to-device
+        path.
         """
         if src == dst:
             raise ValueError("flow source and destination must differ")
         if nbytes < 0:
             raise ValueError(f"negative flow size: {nbytes}")
+        base = (
+            latency if latency is not None else self.cluster.link_latency(src, dst)
+        )
         flow = Flow(
             flow_id=self._next_id,
             src=src,
             dst=dst,
             nbytes=float(nbytes),
             remaining=float(nbytes),
-            ports=self._ports_for(src, dst),
+            ports=ports if ports is not None else self._ports_for(src, dst),
             on_complete=on_complete,
             tag=tag,
             submit_time=self.loop.now,
             on_abandon=on_abandon,
+            base_latency=base,
         )
         self._next_id += 1
-        latency = self.cluster.link_latency(src, dst) + extra_latency
-        self.loop.call_after(latency, lambda: self._activate(flow))
+        self.loop.call_after(base + extra_latency, lambda: self._activate(flow))
         return flow
 
     # ------------------------------------------------------------------
@@ -564,8 +584,11 @@ class Network:
         flow.remaining = flow.nbytes
         flow.start_time = -1.0
         flow.rate = 0.0
-        latency = self.cluster.link_latency(flow.src, flow.dst)
-        self.loop.call_after(delay + latency, lambda: self._activate(flow))
+        # The flow's own base latency, not a fresh route lookup: custom-
+        # port flows (multicast segments) must retry over the same path.
+        self.loop.call_after(
+            delay + flow.base_latency, lambda: self._activate(flow)
+        )
 
     def _arm_timeout(self, flow: Flow) -> None:
         if self.faults is None or self.retry_policy.flow_timeout is None:

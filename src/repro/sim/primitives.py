@@ -30,6 +30,7 @@ __all__ = [
     "scatter",
     "ring_allgather",
     "ring_broadcast",
+    "switch_multicast",
     "ring_order",
     "split_chunks",
 ]
@@ -303,5 +304,132 @@ def ring_broadcast(
         )
 
     maybe_start(0, 0)
+    handle._seal()
+    return handle
+
+
+def switch_multicast(
+    network: Network,
+    root: int,
+    receivers: Sequence[int],
+    nbytes: float,
+    switch: str,
+    n_chunks: int = 16,
+    tag: str = "multicast",
+) -> CollectiveHandle:
+    """Switch-replicated broadcast: one upstream traversal per chunk.
+
+    The root pushes each chunk *once* up to ``switch`` (paying its own
+    NIC and any contended uplink exactly once, regardless of how many
+    hosts receive), and the switch replicates it down every receiving
+    host's path concurrently.  Compare the ring broadcast, which drags
+    each chunk across ``A`` host boundaries — on an oversubscribed
+    fat-tree that is ``A`` paid uplink traversals versus this
+    primitive's one.
+
+    Pipelining mirrors :func:`ring_broadcast`: chunk ``c``'s upstream
+    leg starts once chunk ``c-1``'s finished; a host's downstream leg
+    for chunk ``c`` starts once the chunk reached the switch *and* the
+    host finished chunk ``c-1``.  Receivers beyond the first on each
+    host are fanned out over NVLink after the last chunk lands; co-
+    located receivers get direct intra-host copies.
+
+    Routing comes from :meth:`repro.sim.topology.BoundTopology
+    .multicast_tree`; the per-segment flows use explicit port sets so
+    only the resources each leg actually holds are contended.
+    """
+    recv = [d for d in receivers if d != root]
+    if not recv or nbytes <= 0:
+        return _empty_handle(network, tag)
+    cluster = network.cluster
+    root_host = cluster.host_of(root)
+    local = [d for d in recv if cluster.host_of(d) == root_host]
+    by_host: dict[int, list[int]] = {}
+    for d in recv:
+        h = cluster.host_of(d)
+        if h != root_host:
+            by_host.setdefault(h, []).append(d)
+    hosts = sorted(by_host)
+
+    handle = CollectiveHandle(network, tag)
+
+    for dst in sorted(local):
+        handle._expect(1)
+        network.start_flow(
+            root, dst, nbytes, lambda f: handle._flow_done(),
+            tag=f"{tag}:loc{dst}", on_abandon=handle._flow_abandoned,
+        )
+    if not hosts:
+        handle._seal()
+        return handle
+
+    tree = cluster.topo.multicast_tree(root_host, hosts, switch)
+    chunks = split_chunks(nbytes, n_chunks)
+    heads = {h: min(by_host[h]) for h in hosts}
+
+    handle._expect(n_chunks)  # upstream legs
+    handle._expect(n_chunks * len(hosts))  # downstream legs
+    n_sib = sum(len(by_host[h]) - 1 for h in hosts)
+    handle._expect(n_sib)  # NVLink fanout after the last chunk
+
+    up_done = [False] * n_chunks
+    down_done = {h: [False] * n_chunks for h in hosts}
+    up_started = [False] * n_chunks
+    down_started = {h: [False] * n_chunks for h in hosts}
+
+    def fan_out(h: int) -> None:
+        head = heads[h]
+        for sib in sorted(by_host[h]):
+            if sib == head:
+                continue
+            network.start_flow(
+                head, sib, nbytes, lambda f: handle._flow_done(),
+                tag=f"{tag}:fan{sib}", on_abandon=handle._flow_abandoned,
+            )
+
+    def maybe_start_down(h: int, c: int) -> None:
+        if c >= n_chunks or down_started[h][c]:
+            return
+        if not up_done[c] or (c > 0 and not down_done[h][c - 1]):
+            return
+        down_started[h][c] = True
+        head = heads[h]
+        ports = tree.down_ports_of(h) + (f"nr{h}", f"dr{head}")
+
+        def on_done(_f, h=h, c=c) -> None:
+            down_done[h][c] = True
+            handle._flow_done()
+            maybe_start_down(h, c + 1)
+            if c == n_chunks - 1:
+                fan_out(h)
+
+        network.start_flow(
+            root, head, chunks[c], on_done, tag=f"{tag}:c{c}h{h}",
+            on_abandon=handle._flow_abandoned,
+            ports=ports, latency=tree.down_latency,
+        )
+
+    def maybe_start_up(c: int) -> None:
+        if c >= n_chunks or up_started[c]:
+            return
+        if c > 0 and not up_done[c - 1]:
+            return
+        up_started[c] = True
+        ports = (f"ds{root}", f"ns{root_host}") + tree.up_ports
+
+        def on_done(_f, c=c) -> None:
+            up_done[c] = True
+            handle._flow_done()
+            maybe_start_up(c + 1)
+            for h in hosts:
+                maybe_start_down(h, c)
+
+        network.start_flow(
+            root, heads[hosts[0]], chunks[c], on_done, tag=f"{tag}:c{c}u",
+            on_abandon=handle._flow_abandoned,
+            ports=ports, latency=tree.up_latency,
+        )
+
+    maybe_start_up(0)
     handle._seal()
     return handle

@@ -6,6 +6,7 @@ from .allgather import AllGatherStrategy
 from .auto import AutoStrategy
 from .base import CommStrategy, LoadTracker
 from .broadcast import BroadcastStrategy
+from .multicast import MulticastStrategy
 from .send_recv import SendRecvStrategy
 from .signal import SignalStrategy
 
@@ -15,6 +16,7 @@ __all__ = [
     "SendRecvStrategy",
     "AllGatherStrategy",
     "BroadcastStrategy",
+    "MulticastStrategy",
     "SignalStrategy",
     "AutoStrategy",
     "make_strategy",
@@ -26,6 +28,7 @@ STRATEGIES: dict[str, Callable[[], CommStrategy]] = {
     "allgather": AllGatherStrategy,
     "alpa": AllGatherStrategy,  # the paper's name for the baseline
     "broadcast": BroadcastStrategy,
+    "multicast": MulticastStrategy,
     "signal": SignalStrategy,
     "auto": AutoStrategy,
 }

@@ -66,6 +66,16 @@ class CommStrategy(ABC):
         schedule (every unit task launches eagerly)."""
         return None
 
+    def supports(self, task: ReshardingTask) -> bool:
+        """Whether this strategy can compile ``task`` at all.
+
+        Topology-dependent backends override this (e.g. switch multicast
+        needs a topology that exposes switches); :class:`~repro
+        .compiler.passes.SelectPass` skips unsupported candidates
+        instead of scoring a plan that could never execute.
+        """
+        return True
+
     def emit(
         self,
         task: ReshardingTask,
@@ -131,11 +141,11 @@ class LoadTracker:
             return 1.0
         w = self._host_weight.get(host)
         if w is None:
-            spec = self.cluster.spec
+            topo = self.cluster.topo
             effective = (
-                spec.host_nic_bandwidth(host) * self.faults.mean_nic_factor(host)
+                topo.host_nic_bandwidth(host) * self.faults.mean_nic_factor(host)
             )
-            w = spec.inter_host_bandwidth / max(effective, 1e-9)
+            w = topo.reference_bandwidth / max(effective, 1e-9)
             self._host_weight[host] = w
         return w
 

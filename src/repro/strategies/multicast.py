@@ -1,0 +1,134 @@
+"""Switch-multicast resharding — replicate in the fabric, not the ring.
+
+The ring broadcast (:mod:`repro.strategies.broadcast`) drags every chunk
+across ``A`` host boundaries, so on an oversubscribed fat-tree each
+chunk pays the contended uplink once per receiving host.  Switch
+multicast sends each chunk *upstream once* — root device -> root NIC ->
+the nearest switch spanning every endpoint — and the switch replicates
+it down all receiving hosts' paths concurrently ("Exploiting Multicast
+for Accelerating Collective Communication" is the hardware analogue).
+
+Emission picks, per unit task, the most specific topology switch
+spanning the (scheduled) sender host and every receiver host and emits
+a :class:`~repro.core.plan.MulticastOp` claiming it; the claim is
+statically checkable (analyzer codes T001/T002) and honestly priced by
+the flow simulator, which contends the tree's up and down links in the
+same max-min fixpoint as everything else.  Unit tasks no switch spans
+fall back to a ring broadcast op — the plan stays correct on partially
+multicast-capable fabrics.
+
+The strategy only *competes* where it can run at all:
+:meth:`MulticastStrategy.supports` is False on switchless topologies
+(e.g. a torus), which makes :class:`~repro.compiler.passes.SelectPass`
+skip it instead of scoring an impossible plan.
+
+Scheduling, fault re-rooting, and gating reuse the broadcast machinery
+unchanged — a multicast is a broadcast with a smarter data path, so the
+paper's Eq. 3 ordering model applies as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.plan import BroadcastOp, CommPlan, MulticastOp
+from ..core.task import ReshardingTask
+from ..scheduling import SCHEDULERS, Schedule, SchedulingProblem  # noqa: F401
+from ..sim.faults import FaultSchedule
+from .base import CommStrategy
+from .broadcast import SchedulerLike, adaptive_chunks
+
+__all__ = ["MulticastStrategy"]
+
+
+class MulticastStrategy(CommStrategy):
+    name = "multicast"
+    emit_uses_faults = True
+    schedule_uses_faults = True
+    reroot_on_faults = True
+
+    def __init__(
+        self,
+        scheduler: SchedulerLike = "ensemble",
+        n_chunks: Optional[int] = None,
+        gate_on_schedule: bool = True,
+        granularity: str = "intersection",
+        faults: Optional[FaultSchedule] = None,
+    ) -> None:
+        self.granularity = granularity
+        self.faults = faults
+        if isinstance(scheduler, str):
+            if scheduler not in SCHEDULERS:
+                raise ValueError(
+                    f"unknown scheduler {scheduler!r}; options: {sorted(SCHEDULERS)}"
+                )
+            self._scheduler = SCHEDULERS[scheduler]
+            self.scheduler_name = scheduler
+        else:
+            self._scheduler = scheduler
+            self.scheduler_name = getattr(scheduler, "__name__", "custom")
+        if n_chunks is not None and int(n_chunks) < 1:
+            raise ValueError("n_chunks must be >= 1")
+        self.n_chunks = None if n_chunks is None else int(n_chunks)
+        self.gate_on_schedule = gate_on_schedule
+
+    def scheduler_fn(self):
+        return self._scheduler
+
+    def supports(self, task: ReshardingTask) -> bool:
+        """Multicast needs a fabric with at least one switch to claim."""
+        return bool(task.cluster.topo.has_switches)
+
+    def cache_key(self) -> Optional[tuple]:
+        if SCHEDULERS.get(self.scheduler_name) is not self._scheduler:
+            return None
+        return (
+            self.name,
+            self.granularity,
+            self.scheduler_name,
+            self.n_chunks,
+            self.gate_on_schedule,
+            repr(self.faults),
+        )
+
+    def emit(self, task: ReshardingTask, plan: CommPlan, schedule, load) -> None:
+        topo = task.cluster.topo
+        for ut in task.unit_tasks(self.granularity):
+            if not ut.receivers:
+                continue
+            host = schedule.assignment[ut.task_id]
+            sender = load.pick_on_host(ut.senders, host, ut.nbytes)
+            recv_hosts = task.cluster.hosts_of(ut.receivers)
+            sw = topo.common_switch(host, recv_hosts)
+            n_chunks = (
+                self.n_chunks
+                if self.n_chunks is not None
+                else adaptive_chunks(ut.nbytes)
+            )
+            if sw is not None:
+                plan.add(
+                    MulticastOp(
+                        op_id=plan.next_op_id,
+                        unit_task_id=ut.task_id,
+                        region=ut.region,
+                        nbytes=ut.nbytes,
+                        sender=sender,
+                        receivers=ut.receivers,
+                        switch=sw.name,
+                        n_chunks=n_chunks,
+                    )
+                )
+            else:
+                # No switch spans this unit task (e.g. cross-rail fan-
+                # out): ring broadcast keeps the plan complete.
+                plan.add(
+                    BroadcastOp(
+                        op_id=plan.next_op_id,
+                        unit_task_id=ut.task_id,
+                        region=ut.region,
+                        nbytes=ut.nbytes,
+                        sender=sender,
+                        receivers=ut.receivers,
+                        n_chunks=n_chunks,
+                    )
+                )
