@@ -36,6 +36,14 @@ from .pipeline import (
     PassTiming,
     compile_resharding,
 )
+from .resim import (
+    ResimCache,
+    ResimStats,
+    SimCheckpoint,
+    default_resim_cache,
+    reset_default_resim_cache,
+    resimulate,
+)
 
 __all__ = [
     "compile_resharding",
@@ -64,4 +72,10 @@ __all__ = [
     "reset_default_plan_cache",
     "EdgeResharding",
     "USE_DEFAULT_CACHE",
+    "ResimCache",
+    "ResimStats",
+    "SimCheckpoint",
+    "resimulate",
+    "default_resim_cache",
+    "reset_default_resim_cache",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from ..core.executor import TimingResult, simulate_plan
 from ..core.plan import CommPlan
@@ -30,6 +30,9 @@ from ..strategies.base import CommStrategy
 from .budget import CompileBudget, CompileTimeout, charge_pass
 from .cache import PlanCache, default_plan_cache, plan_signature
 from .passes import DEFAULT_PASSES, CompilerPass, PlanState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .resim import ResimCache
 
 __all__ = [
     "PassTiming",
@@ -131,6 +134,10 @@ class CompileContext:
     faults: Optional[FaultSchedule] = None
     retry_policy: Optional[RetryPolicy] = None
     cache: Any = USE_DEFAULT_CACHE
+    #: checkpoint cache for incremental re-simulation in the select
+    #: pass (see :mod:`repro.compiler.resim`); defaults to the
+    #: process-wide cache, ``None`` scores candidates cold
+    resim_cache: Any = USE_DEFAULT_CACHE
     #: deterministic compile deadline in nominal seconds (see
     #: :mod:`repro.compiler.budget`); ``None`` leaves compiles unbounded
     deadline: Optional[float] = None
@@ -158,6 +165,13 @@ class CompileContext:
         if self.cache is USE_DEFAULT_CACHE:
             return default_plan_cache()
         return self.cache
+
+    def resolved_resim_cache(self) -> "Optional[ResimCache]":
+        if self.resim_cache is USE_DEFAULT_CACHE:
+            from .resim import default_resim_cache
+
+            return default_resim_cache()
+        return self.resim_cache
 
     def effective_faults(self, strategy: CommStrategy) -> Optional[FaultSchedule]:
         if self.faults is not None:

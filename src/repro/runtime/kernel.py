@@ -3,10 +3,19 @@
 :class:`EventLoop` is the minimal deterministic priority-queue engine
 (moved here from ``repro.sim.events``, which remains as a compatibility
 shim).  All simulated time is in seconds (float).  Determinism is
-guaranteed by breaking time ties with a monotonically increasing
-sequence number in the heap key, so events at equal timestamps pop in
-insertion order on every Python version and two runs over the same
-inputs produce identical schedules.
+guaranteed by FIFO tie-breaking at equal timestamps: the heap holds one
+entry per *distinct* timestamp, and each timestamp owns an
+insertion-ordered batch of events, so two runs over the same inputs
+produce identical schedules on every Python version.
+
+Batching is also the performance story.  The network simulator re-arms
+one completion event per rate reallocation and one timeout per flow,
+then cancels most of them; with a per-event heap every cancel/re-arm
+pair was two ``O(log n)`` heap operations on a queue whose majority was
+dead entries.  Here a cancel is a flag flip (lazy cancellation, skipped
+at pop time), scheduling into an existing timestamp is an ``O(1)`` list
+append, and when dead events dominate the queue it is compacted in one
+``O(n)`` sweep — the heap only ever sees distinct timestamps.
 
 :class:`Kernel` generalizes the loop into the shared runtime substrate:
 
@@ -34,22 +43,55 @@ from .telemetry import TelemetryBus
 __all__ = ["Event", "EventLoop", "Kernel"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so the heap pops them in
-    chronological order with FIFO tie-breaking.
+    Events compare by ``(time, seq)`` — chronological order with FIFO
+    tie-breaking.  ``seq`` is assigned globally per loop; within one
+    timestamp batch it is also the list position.
+
+    Slotted: the network simulator arms (and mostly cancels) one of
+    these per flow timeout and per rate reallocation.
     """
 
     time: float
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: owning loop while the event is still queued; dropped (set to
+    #: None) once the event runs, so a late cancel() cannot skew the
+    #: loop's live/cancelled accounting.
+    loop: Optional["EventLoop"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.loop is not None:
+                self.loop._note_cancel()
+
+
+class _Batch:
+    """All events scheduled at one exact timestamp, in insertion order.
+
+    ``idx`` is the execution cursor: events before it already ran (or
+    were skipped as cancelled).  The batch stays registered until the
+    cursor passes the end, so same-timestamp events scheduled *during*
+    execution append here and run in the same pass — exactly the old
+    per-event heap's (time, seq) order.
+    """
+
+    __slots__ = ("time", "events", "idx")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.events: list[Event] = []
+        self.idx = 0
+
+
+#: queue-size floor below which compaction is never attempted
+_COMPACT_MIN = 512
 
 
 class EventLoop:
@@ -64,23 +106,34 @@ class EventLoop:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        # min-heap of distinct timestamps; one _Batch per entry
+        self._times: list[float] = []
+        self._batches: dict[float, _Batch] = {}
         self._seq = 0
         self.now: float = 0.0
         self._n_processed = 0
+        self._n_live = 0  # queued and not cancelled
+        self._n_cancelled = 0  # queued and cancelled (lazy, not yet skipped)
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def call_at(self, when: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run at absolute simulated time ``when``."""
-        if when < self.now - 1e-12:
+        now = self.now
+        if when < now - 1e-12:
             raise ValueError(
-                f"cannot schedule event in the past: {when} < now={self.now}"
+                f"cannot schedule event in the past: {when} < now={now}"
             )
-        ev = Event(time=max(when, self.now), seq=self._seq, fn=fn)
+        t = when if when > now else now
+        ev = Event(t, self._seq, fn, False, self)
         self._seq += 1
-        heapq.heappush(self._queue, ev)
+        batch = self._batches.get(t)
+        if batch is None:
+            batch = self._batches[t] = _Batch(t)
+            heapq.heappush(self._times, t)
+        batch.events.append(ev)
+        self._n_live += 1
         return ev
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> Event:
@@ -90,18 +143,75 @@ class EventLoop:
         return self.call_at(self.now + delay, fn)
 
     # ------------------------------------------------------------------
+    # Queue accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """A queued event flipped to cancelled (lazy cancellation)."""
+        self._n_live -= 1
+        self._n_cancelled += 1
+        # When dead events dominate a large queue, sweep them out so the
+        # batch lists (and worst-case skip scans) stay proportional to
+        # live work.  Amortized O(1): each sweep halves the queue.
+        if (
+            self._n_cancelled > _COMPACT_MIN
+            and self._n_cancelled > self._n_live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled event; rebuild the timestamp heap."""
+        times: list[float] = []
+        batches: dict[float, _Batch] = {}
+        for t in self._times:
+            old = self._batches[t]
+            events = [ev for ev in old.events[old.idx :] if not ev.cancelled]
+            if events:
+                fresh = _Batch(t)
+                fresh.events = events
+                batches[t] = fresh
+                times.append(t)
+        heapq.heapify(times)
+        self._times = times
+        self._batches = batches
+        self._n_cancelled = 0
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _next_time(self) -> Optional[float]:
+        """Earliest timestamp with any queued event, pruning empty batches."""
+        while self._times:
+            t = self._times[0]
+            batch = self._batches[t]
+            if batch.idx < len(batch.events):
+                return t
+            heapq.heappop(self._times)
+            del self._batches[t]
+        return None
+
     def step(self) -> bool:
         """Process the next pending event.  Returns False when idle."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            self.now = ev.time
-            self._n_processed += 1
-            ev.fn()
-            return True
+        while self._times:
+            t = self._times[0]
+            batch = self._batches[t]
+            events = batch.events
+            i = batch.idx
+            while i < len(events):
+                ev = events[i]
+                i += 1
+                if ev.cancelled:
+                    self._n_cancelled -= 1
+                    continue
+                batch.idx = i
+                self.now = t
+                self._n_processed += 1
+                self._n_live -= 1
+                ev.loop = None
+                ev.fn()
+                return True
+            batch.idx = i
+            heapq.heappop(self._times)
+            del self._batches[t]
         return False
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
@@ -111,12 +221,35 @@ class EventLoop:
         guard; hitting it raises ``RuntimeError``.
         """
         n = 0
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
+        # Inlined step(): one heap peek + one dict lookup per event.  The
+        # loop attributes are re-read every iteration because a callback
+        # may cancel enough events to trigger _compact(), which rebinds
+        # self._times / self._batches wholesale.
+        while True:
+            times = self._times
+            if not times:
+                break
+            t = times[0]
+            batch = self._batches[t]
+            events = batch.events
+            i = batch.idx
+            if i >= len(events):
+                heapq.heappop(times)
+                del self._batches[t]
+                continue
+            if until is not None and t > until:
                 self.now = until
                 break
-            if not self.step():
-                break
+            ev = events[i]
+            batch.idx = i + 1
+            if ev.cancelled:
+                self._n_cancelled -= 1
+                continue
+            self.now = t
+            self._n_processed += 1
+            self._n_live -= 1
+            ev.loop = None
+            ev.fn()
             n += 1
             if n > max_events:
                 raise RuntimeError(f"event budget exceeded ({max_events} events)")
@@ -125,7 +258,7 @@ class EventLoop:
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        return self._n_live
 
     @property
     def processed(self) -> int:

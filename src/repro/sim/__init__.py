@@ -32,6 +32,13 @@ from .primitives import (
     ring_order,
     scatter,
 )
+from .solver import (
+    AdaptiveSolver,
+    RateSolver,
+    ScalarSolver,
+    VectorSolver,
+    make_solver,
+)
 
 __all__ = [
     "GB",
@@ -45,6 +52,11 @@ __all__ = [
     "Flow",
     "FlowRecord",
     "Network",
+    "RateSolver",
+    "ScalarSolver",
+    "VectorSolver",
+    "AdaptiveSolver",
+    "make_solver",
     "DegradedWindow",
     "FlapWindow",
     "HostFailure",

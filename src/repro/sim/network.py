@@ -56,17 +56,20 @@ checksums (:mod:`repro.core.verify_data`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from ..runtime.kernel import Event, EventLoop, Kernel
-from ..runtime.telemetry import SpanRecord, TelemetryBus
+from ..runtime.telemetry import SpanRow, TelemetryBus
 from .cluster import Cluster
 from .faults import FaultIncident, FaultReport, FaultSchedule, RetryPolicy
+from .solver import RateSolver, make_solver
 
 __all__ = ["Flow", "FlowRecord", "Network"]
 
 
-@dataclass
+# Slotted: tens of thousands are alive at once in large simulations, and
+# the rate solvers touch `rate`/`remaining` on every reallocation.
+@dataclass(slots=True)
 class Flow:
     """A point-to-point transfer in flight."""
 
@@ -135,9 +138,9 @@ class FlowRecord:
         return active_from - self.submit_time
 
 
-def _flow_record_from_span(span: SpanRecord) -> FlowRecord:
-    """Rebuild the legacy record from one ``cat="flow"`` span."""
-    a = span.attrs
+def _flow_record_from_row(row: SpanRow) -> FlowRecord:
+    """Rebuild the legacy record from one raw ``cat="flow"`` span row."""
+    a = row[7]
     return FlowRecord(
         flow_id=int(a["flow_id"]),  # type: ignore[arg-type]
         src=int(a["src"]),  # type: ignore[arg-type]
@@ -145,7 +148,7 @@ def _flow_record_from_span(span: SpanRecord) -> FlowRecord:
         nbytes=float(a["nbytes"]),  # type: ignore[arg-type]
         submit_time=float(a["submit_time"]),  # type: ignore[arg-type]
         start_time=float(a["active_start"]),  # type: ignore[arg-type]
-        finish_time=span.end,
+        finish_time=row[4],
         tag=str(a["tag"]),
         attempts=int(a["attempts"]),  # type: ignore[arg-type]
         status=str(a["status"]),
@@ -167,6 +170,7 @@ class Network:
         loop: Optional[EventLoop] = None,
         faults: Optional[FaultSchedule] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        solver: Union[str, RateSolver, None] = None,
     ) -> None:
         self.cluster = cluster
         self.loop = loop if loop is not None else Kernel()
@@ -176,11 +180,16 @@ class Network:
             else TelemetryBus(clock=lambda: self.loop.now)
         )
         self._active: dict[int, Flow] = {}
+        #: the max-min fixpoint backend (see :mod:`repro.sim.solver`);
+        #: "scalar" | "vector" | "adaptive" (default) or an instance
+        self.solver: RateSolver = make_solver(solver)
+        self.solver.attach(self)
         self._next_id = 0
         self._completion_event: Optional[Event] = None
         self._expected_finish: list[int] = []
         self._last_update = 0.0
         self._trace_view: list[FlowRecord] = []
+        self._trace_cursor = 0
         self.bytes_cross_host = 0.0
         self.bytes_intra_host = 0.0
         self._c_cross = self.bus.counter("bytes_cross_host", track="net")
@@ -364,12 +373,19 @@ class Network:
     def trace(self) -> list[FlowRecord]:
         """Flow dispositions as legacy :class:`FlowRecord`\\ s.
 
-        Derived from the telemetry bus's ``flow`` spans (and cached —
-        the view only rebuilds when new spans were emitted).
+        Derived from the telemetry bus's ``flow`` spans.  The view is
+        incremental: a cursor over the bus's raw span rows appends only
+        the records emitted since the last access, instead of scanning
+        and rebuilding the whole span list every time.
         """
-        spans = [s for s in self.bus.spans if s.cat == "flow"]
-        if len(spans) != len(self._trace_view):
-            self._trace_view = [_flow_record_from_span(s) for s in spans]
+        rows = self.bus.span_rows
+        cursor = self._trace_cursor
+        if cursor < len(rows):
+            view = self._trace_view
+            for row in rows[cursor:]:
+                if row[1] == "flow":
+                    view.append(_flow_record_from_row(row))
+            self._trace_cursor = len(rows)
         return self._trace_view
 
     # ------------------------------------------------------------------
@@ -393,6 +409,7 @@ class Network:
             self._finish(flow)
         else:
             self._active[flow.flow_id] = flow
+            self.solver.flow_added(flow)
             self._arm_timeout(flow)
         self._reallocate_and_schedule()
 
@@ -406,74 +423,45 @@ class Network:
         self._last_update = now
 
     def _maxmin_rates(self) -> None:
-        """Progressive-filling max-min fair allocation over active flows."""
-        flows = list(self._active.values())
-        if not flows:
-            return
-        # Port -> remaining capacity and unassigned flow count.
-        cap: dict[str, float] = {}
-        load: dict[str, int] = {}
-        for f in flows:
-            f.rate = 0.0
-            for p in f.ports:
-                if p not in cap:
-                    cap[p] = self._port_capacity(p)
-                    load[p] = 0
-                load[p] += 1
-        unassigned = set(self._active.keys())
-        while unassigned:
-            # Most constrained port: minimal fair share among loaded ports.
-            best_port = None
-            best_share = float("inf")
-            for p, n in load.items():
-                if n <= 0:
-                    continue
-                share = cap[p] / n
-                if share < best_share:
-                    best_share = share
-                    best_port = p
-            if best_port is None:  # pragma: no cover - defensive
-                break
-            # Fix that share for every unassigned flow through best_port.
-            # Sorted: the per-port capacity subtractions below are float
-            # ops, so a set-order walk would round differently per run.
-            fixed = [
-                fid
-                for fid in sorted(unassigned)
-                if best_port in self._active[fid].ports
-            ]
-            for fid in fixed:
-                f = self._active[fid]
-                f.rate = best_share
-                unassigned.discard(fid)
-                for p in f.ports:
-                    cap[p] -= best_share
-                    load[p] -= 1
-            cap[best_port] = 0.0
-            load[best_port] = 0
+        """Max-min fair allocation over active flows (via the solver)."""
+        self.solver.solve()
 
     def _reallocate_and_schedule(self) -> None:
-        self._maxmin_rates()
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
+        self.solver.solve()
         if not self._active:
+            if self._completion_event is not None:
+                self._completion_event.cancel()
+                self._completion_event = None
             return
-        etas = {
-            fid: (f.remaining / f.rate if f.rate > 0 else float("inf"))
-            for fid, f in self._active.items()
-        }
-        next_eta = min(etas.values())
+        # Two cheap passes instead of building a per-reallocation dict:
+        # the first finds the earliest ETA, the second collects ties.
+        next_eta = float("inf")
+        for f in self._active.values():
+            if f.rate > 0:
+                eta = f.remaining / f.rate
+                if eta < next_eta:
+                    next_eta = eta
         if next_eta == float("inf"):  # pragma: no cover - defensive
             raise RuntimeError("active flows with zero rate: allocation bug")
         # Flows whose ETA ties the minimum (within float tolerance) are
         # force-finished at the event, so rounding residue in `remaining`
         # can never stall the simulation at a fixed timestamp.
-        tol = 1e-12 * max(next_eta, 1.0) + 1e-15
-        self._expected_finish = [fid for fid, eta in etas.items() if eta <= next_eta + tol]
-        self._completion_event = self.loop.call_at(
-            self.loop.now + next_eta, self._on_completion
-        )
+        bound = next_eta + 1e-12 * max(next_eta, 1.0) + 1e-15
+        self._expected_finish = [
+            fid
+            for fid, f in self._active.items()
+            if f.rate > 0 and f.remaining / f.rate <= bound
+        ]
+        when = self.loop.now + next_eta
+        armed = self._completion_event
+        if armed is not None:
+            if armed.time == when and not armed.cancelled:
+                # The completion instant did not move: keep the armed
+                # event instead of churning the heap with a cancel +
+                # re-push pair (lazy cancellation's common case).
+                return
+            armed.cancel()
+        self._completion_event = self.loop.call_at(when, self._on_completion)
 
     def _on_completion(self) -> None:
         self._completion_event = None
@@ -485,6 +473,7 @@ class Network:
         finished = [f for f in self._active.values() if f.remaining <= 0.0]
         for f in finished:
             del self._active[f.flow_id]
+            self.solver.flow_removed(f)
         # Finish callbacks may submit new flows; they will trigger their
         # own reallocation on activation, but we reallocate here too in
         # case no new flows appear.
@@ -551,7 +540,8 @@ class Network:
 
     def _fail_flow(self, flow: Flow, reason: str) -> None:
         """One attempt failed: record it and retry or abandon."""
-        self._active.pop(flow.flow_id, None)
+        if self._active.pop(flow.flow_id, None) is not None:
+            self.solver.flow_removed(flow)
         self._cancel_timeout(flow)
         now = self.loop.now
         self.n_failures += 1
