@@ -1,8 +1,31 @@
-"""E3 — regenerate Table 1 (GPT-3 layer per-GPU memory)."""
+"""E3 — regenerate Table 1 (GPT-3 layer per-GPU memory) and the
+transient-buffer soundness sweep.
+
+``test_persist_memory_bench`` is the acceptance gate for the static
+peak-memory analyzer: on every fig5/6/7-shaped golden workload, on
+every topology-zoo fabric, with and without compile-time fault
+rewrites, the static per-host bound must dominate the simulated
+high-water mark.  The static/simulated/budget rows are persisted to
+``benchmarks/results/BENCH_memory.json`` — deterministic byte counts,
+so CI's ``memory-smoke`` job regenerates the artifact and fails on
+drift.
+"""
+
+import numpy as np
 
 from conftest import save_table
+from persist import persist_bench
 
+from repro.analysis import static_host_bounds
+from repro.compiler import CompileContext, compile_resharding
+from repro.core.executor import simulate_plan
+from repro.core.mesh import DeviceMesh
+from repro.core.task import ReshardingTask
 from repro.experiments import table1
+from repro.experiments.topology_zoo import zoo_specs
+from repro.sim.cluster import Cluster
+from repro.sim.faults import FaultSchedule, HostFailure, RetryPolicy
+from repro.strategies import make_strategy
 
 
 def test_regenerate_table1(benchmark, results_dir):
@@ -16,3 +39,104 @@ def test_bench_memory_formula(benchmark):
     from repro.models.gpt import gpt_layer_memory_table
 
     benchmark(gpt_layer_memory_table)
+
+
+# ----------------------------------------------------------------------
+# Static peak-buffer soundness sweep
+# ----------------------------------------------------------------------
+#: the fig5/6/7-shaped golden workloads, instantiated per zoo fabric;
+#: ``kill`` is the host failed at plan time in the fault-rewrite leg
+#: (a sender where re-rooting has real choices, a receiver for fig5)
+GOLDEN_WORKLOADS = {
+    "fig5-bcast": dict(
+        shape=(16384,), src_hosts=(0,), src_spec="R",
+        dst_hosts=(1, 2, 3, 4), dst_spec="R", kill=4,
+    ),
+    "fig6-crossmesh": dict(
+        shape=(128, 128), src_hosts=(0, 1), src_spec="S0R",
+        dst_hosts=(2, 3), dst_spec="RS1", kill=1,
+    ),
+    "fig7-replicated": dict(
+        shape=(128, 128), src_hosts=(0, 1, 2, 3), src_spec="RS1",
+        dst_hosts=(4, 5), dst_spec="S0R", kill=0,
+    ),
+}
+
+#: fixed reference budget for the artifact's budget column (bytes/host)
+REFERENCE_BUDGET = 262144.0
+
+
+def _sweep_one(cluster, workload, faulted):
+    task = ReshardingTask(
+        workload["shape"],
+        DeviceMesh.from_hosts(cluster, workload["src_hosts"]),
+        workload["src_spec"],
+        DeviceMesh.from_hosts(cluster, workload["dst_hosts"]),
+        workload["dst_spec"],
+        dtype=np.float32,
+    )
+    faults = retry = None
+    strategy = "broadcast"
+    if faulted:
+        faults = FaultSchedule(
+            seed=1, host_failures=(HostFailure(host=workload["kill"], time=0.0),)
+        )
+        retry = RetryPolicy()
+        # Blind the scheduler (as a buggy deployment might) so the
+        # re-root pass carries the load and the bound is exercised on
+        # genuinely rewritten plans, fallbacks included.
+        strategy = make_strategy("broadcast")
+        strategy.schedule_uses_faults = False
+    compiled = compile_resharding(
+        task,
+        CompileContext(
+            strategy=strategy, faults=faults, retry_policy=retry, cache=None
+        ),
+    )
+    timing = simulate_plan(compiled.plan, faults=faults, retry_policy=retry)
+    mem = static_host_bounds(compiled.plan)
+    return compiled, timing, mem
+
+
+def test_persist_memory_bench():
+    """Soundness on every fabric x workload x fault mode; persist rows."""
+    rows = {}
+    rewrites = 0
+    for fabric, spec in sorted(zoo_specs().items()):
+        cluster = Cluster(spec)
+        rows[fabric] = {}
+        for name, workload in GOLDEN_WORKLOADS.items():
+            rows[fabric][name] = {}
+            for mode in ("steady", "faulted"):
+                compiled, timing, mem = _sweep_one(
+                    cluster, workload, faulted=(mode == "faulted")
+                )
+                assert mem.dominates(timing.host_peak_buffers), (
+                    f"{fabric}/{name}/{mode}: simulated peak "
+                    f"{timing.host_peak_buffers} exceeds static bound "
+                    f"{mem.per_host}"
+                )
+                assert not mem.nonfinite_ops and not mem.uncovered_ops
+                rewrites += len(compiled.plan.fallbacks)
+                simulated = max(
+                    timing.host_peak_buffers.values(), default=0.0
+                )
+                rows[fabric][name][mode] = {
+                    "static_peak_bytes": mem.peak,
+                    "simulated_peak_bytes": simulated,
+                    "budget_bytes": REFERENCE_BUDGET,
+                    "within_budget": mem.peak <= REFERENCE_BUDGET,
+                    "gated": mem.gated,
+                    "fallbacks": len(compiled.plan.fallbacks),
+                }
+    # The faulted leg must exercise real re-rooting somewhere, or the
+    # "with fault rewrites" half of the gate is vacuous.
+    assert rewrites > 0, "no compile produced a fallback re-root"
+    persist_bench(
+        "memory",
+        {
+            "reference_budget_bytes": REFERENCE_BUDGET,
+            "workloads": rows,
+        },
+    )
+

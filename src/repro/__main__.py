@@ -127,7 +127,9 @@ def cmd_reshard(args: argparse.Namespace) -> int:
     )
     streams = []
     for name in strategies:
-        if args.explain or args.dump_plan_after:
+        if args.explain or args.dump_plan_after or args.memory_budget is not None:
+            from .core.validate import PlanValidationError
+
             # Compile fresh (uncached) so the pass pipeline actually
             # runs and its instrumentation reflects real work.
             task = ReshardingTask(
@@ -143,15 +145,39 @@ def cmd_reshard(args: argparse.Namespace) -> int:
                         deadline=args.timeout,
                         dump_after=tuple(args.dump_plan_after or ()),
                         on_dump=_dump_plan_state,
+                        memory_budget=args.memory_budget,
+                        validate=args.memory_budget is not None,
                     ),
                 )
             except CompileTimeout as timeout:
                 print(f"  {name:<10} compile timeout: {timeout}", file=sys.stderr)
                 return 3
+            except PlanValidationError as invalid:
+                print(
+                    f"  {name:<10} rejected by memory budget:\n    "
+                    + str(invalid).replace("\n", "\n    "),
+                    file=sys.stderr,
+                )
+                return 1
             if args.explain:
                 print(f"  [{name}] pass pipeline:")
                 for line in compiled.diagnostics.format_table().splitlines():
                     print("    " + line)
+                from .analysis import static_host_bounds
+
+                analysis = static_host_bounds(compiled.plan)
+                print(f"  [{name}] static peak-buffer bound:")
+                for line in analysis.format_table().splitlines():
+                    print("    " + line)
+                if args.memory_budget is not None:
+                    verdict = (
+                        "within" if analysis.peak <= args.memory_budget
+                        else "EXCEEDS"
+                    )
+                    print(
+                        f"    memory_budget {args.memory_budget:.0f} B: "
+                        f"{verdict}"
+                    )
         cache_kwargs = {"cache": None} if args.no_cache else {}
         try:
             r = reshard(tensor_or_shape, src, args.src_spec, dst, args.dst_spec,
@@ -284,14 +310,16 @@ def _print_analysis(report, verbose: bool) -> bool:
     return n_err == 0
 
 
-def _analyze_compiled(task, strategy: str, label: str, verbose: bool) -> bool:
+def _analyze_compiled(
+    task, strategy: str, label: str, verbose: bool, memory_budget=None
+) -> bool:
     from .analysis import check_plan
     from .compiler import CompileContext, compile_resharding
 
     compiled = compile_resharding(
         task, CompileContext(strategy=strategy, validate=False)
     )
-    report = check_plan(compiled.plan)
+    report = check_plan(compiled.plan, memory_budget=memory_budget)
     report.subject = label
     return _print_analysis(report, verbose)
 
@@ -393,14 +421,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
         for path in args.plan_json:
             fixture = load_plan_fixture(path)
-            report = check_plan(fixture.plan)
+            report = check_plan(fixture.plan, memory_budget=args.memory_budget)
             report.subject = path
             ok = _print_analysis(report, args.verbose) and ok
         ran = True
     if args.workload:
         for workload in args.workload:
             for label, task, strategy in _golden_reshardings(workload):
-                ok = _analyze_compiled(task, strategy, label, args.verbose) and ok
+                ok = _analyze_compiled(
+                    task, strategy, label, args.verbose,
+                    memory_budget=args.memory_budget,
+                ) and ok
             if workload == "fig7":
                 ok = _analyze_fig7_schedules(args.verbose) and ok
         ran = True
@@ -421,7 +452,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             args.shape, src, args.src_spec, dst, args.dst_spec, dtype=np.float32
         )
         label = f"{args.src_spec}->{args.dst_spec}:{args.strategy}"
-        ok = _analyze_compiled(task, args.strategy, label, args.verbose) and ok
+        ok = _analyze_compiled(
+            task, args.strategy, label, args.verbose,
+            memory_budget=args.memory_budget,
+        ) and ok
         ran = True
     if not ran:
         print(
@@ -461,6 +495,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         runs=args.runs,
         seed=args.seed,
         break_reroot=args.break_reroot,
+        break_memory=args.break_memory,
         save_repros_dir=args.save_repros,
     )
     if args.json:
@@ -634,6 +669,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed plan cache")
+    r.add_argument("--memory-budget", type=float, metavar="BYTES",
+                   help="per-host transient buffer budget; compiles are "
+                        "validated against the static bound (exit 1 on "
+                        "M001/M003)")
     r.add_argument("--timeout", type=float, metavar="SECONDS",
                    help="deterministic compile deadline in budget seconds "
                         "(machine-independent; exit 3 on timeout)")
@@ -739,6 +778,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="broadcast",
         choices=["send_recv", "allgather", "broadcast", "multicast", "auto"],
     )
+    a.add_argument("--memory-budget", type=float, metavar="BYTES",
+                   help="per-host transient buffer budget for the memory "
+                        "analyzer (M001 on exceed)")
     a.add_argument("--verbose", action="store_true",
                    help="print diagnostics even for clean subjects")
     a.set_defaults(fn=cmd_analyze)
@@ -748,7 +790,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="repro-lint: ban nondeterminism in repo code",
         description=(
             "AST lint for determinism leaks: wall-clock calls (L001), "
-            "unseeded RNG (L002), set iteration (L003).  Exit 1 on any "
+            "unseeded RNG (L002), set iteration (L003), raw itemsize "
+            "byte math (L004).  Exit 1 on any "
             "finding; waive single lines with "
             "'# repro-lint: allow[CODE] reason'."
         ),
@@ -782,6 +825,10 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--break-reroot", action="store_true",
                     help="self-test: compile with a deliberately broken "
                          "re-root pass (violations expected)")
+    fz.add_argument("--break-memory", action="store_true",
+                    help="self-test: simulate with a deliberately leaky "
+                         "buffer accountant (memory-sound violations "
+                         "expected)")
     fz.add_argument("--save-repros", metavar="DIR", default=None,
                     help="write shrunk reproducer schedules to DIR")
     fz.set_defaults(fn=cmd_fuzz)

@@ -16,8 +16,12 @@ catch bad plans by executing them; this package proves properties
 * :func:`analyze_pipeline_schedule` — static in-flight activation
   bounds and structural checks of 1F1B-family schedules
   (``S001``/``S002``);
-* :func:`lint_paths` — AST rules banning nondeterminism in the repo's
-  own code (``L001``-``L003``).
+* :func:`static_host_bounds` / :func:`check_plan_memory` — abstract
+  interpretation of per-host transient buffer bytes: a sound static
+  upper bound on the simulated peak, checked against ``memory_budget``
+  (``M001``-``M003``);
+* :func:`lint_paths` — AST rules banning nondeterminism and raw byte
+  math in the repo's own code (``L001``-``L004``).
 
 Entry points: the compiler's ``validate`` pass, ``python -m repro
 analyze`` and ``python -m repro lint``, and CI's lint-and-analyze job.
@@ -34,6 +38,7 @@ from .diagnostics import CATALOG, AnalysisReport, Diagnostic, Severity
 from .domains import check_checkpoint_domains, meshes_share_domain
 from .lint import lint_file, lint_paths, lint_source
 from .loader import PlanFixture, load_plan_fixture, plan_from_dict
+from .memory_analysis import MemoryAnalysis, check_plan_memory, static_host_bounds
 from .plan_checker import check_plan
 from .schedule_analysis import (
     analyze_pipeline_schedule,
@@ -56,6 +61,9 @@ __all__ = [
     "schedule_gating_preds",
     "analyze_pipeline_schedule",
     "static_peak_inflight",
+    "MemoryAnalysis",
+    "static_host_bounds",
+    "check_plan_memory",
     "lint_source",
     "lint_file",
     "lint_paths",

@@ -36,10 +36,19 @@ code      meaning
           schedule's peak in-flight activation count
 ``S002``  malformed stage order: a backward precedes its forward,
           or task counts do not match the micro-batch count
+``M001``  static peak-buffer bound exceeds the cluster's
+          ``memory_budget`` on at least one host
+``M002``  unbounded or unattributable transient buffer: an op's byte
+          count is not finite, or its deliveries land on hosts the
+          schedule's serialization order says nothing about
+``M003``  memory budget infeasible: every candidate strategy's static
+          peak-buffer bound exceeds the budget
 ``L001``  wall-clock time call in deterministic code
 ``L002``  unseeded random-number generation
 ``L003``  iteration over an unordered set with order-dependent
           effects
+``L004``  raw ``itemsize`` byte math outside the sizeof/buffer
+          accounting helpers (``core/tensor.py``, ``core/buffers.py``)
 ``F001``  re-root into the same failure domain: a fallback record
           lands the sender on a host sharing a failure domain with
           the host it replaced while an out-of-domain replica exists
@@ -97,9 +106,13 @@ CATALOG: dict[str, str] = {
     "D002": "wait-for cycle in pipeline schedule",
     "S001": "stage memory capacity exceeded at peak in-flight count",
     "S002": "malformed stage task order",
+    "M001": "static peak-buffer bound exceeds memory_budget",
+    "M002": "unbounded or unattributable transient buffer",
+    "M003": "memory budget infeasible for every candidate strategy",
     "L001": "wall-clock time call in deterministic code",
     "L002": "unseeded random-number generation",
     "L003": "order-dependent iteration over an unordered set",
+    "L004": "raw itemsize byte math outside the sizeof helpers",
     "F001": "re-root lands inside the replaced host's failure domain",
     "F002": "buddy checkpoint shares a failure domain with its primary",
     "F003": "scheduled sender sits in a failed domain at plan time",

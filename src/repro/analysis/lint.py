@@ -14,6 +14,13 @@ three classic leaks in deterministic code:
     values and insertion history, so any order-dependent effect in the
     body (scheduling, emission, accumulation into a list) becomes
     machine-dependent.  Wrap the set in ``sorted(...)`` instead.
+``L004`` — raw ``itemsize`` byte math (``n * dtype.itemsize``) outside
+    the sizeof helpers.  Every byte count the memory analyzer reasons
+    about must flow through :func:`repro.core.tensor.nbytes_of` /
+    :func:`repro.core.tensor.region_nbytes` (and the attribution in
+    :mod:`repro.core.buffers`), or static bounds and runtime accounting
+    can silently disagree.  Only those modules may multiply by
+    ``itemsize`` directly.
 
 A line (or the line above it) may carry an explicit waiver with a
 reason, e.g.::
@@ -68,6 +75,10 @@ _SET_BUILTINS = frozenset({"set", "frozenset"})
 _SET_METHODS = frozenset(
     {"union", "intersection", "difference", "symmetric_difference", "copy"}
 )
+
+#: modules allowed to do raw ``* itemsize`` math (the sizeof helpers
+#: themselves and the buffer-attribution map built on them)
+_L004_ALLOWED_SUFFIXES = ("core/tensor.py", "core/buffers.py")
 
 
 class _Scope:
@@ -266,6 +277,29 @@ class _Linter(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # L004: raw itemsize byte math
+    # ------------------------------------------------------------------
+    def _is_itemsize(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "itemsize":
+            return True
+        return isinstance(node, ast.Name) and node.id == "itemsize"
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            isinstance(node.op, ast.Mult)
+            and (self._is_itemsize(node.left) or self._is_itemsize(node.right))
+            and not self.path.replace("\\", "/").endswith(_L004_ALLOWED_SUFFIXES)
+        ):
+            self._emit(
+                "L004",
+                "raw itemsize byte math; use repro.core.tensor.nbytes_of / "
+                "region_nbytes so the memory analyzer and runtime "
+                "accounting agree on every byte count",
+                node,
+            )
         self.generic_visit(node)
 
     def _visit_comprehension(

@@ -15,6 +15,7 @@ Schema (all sizes in elements; nbytes defaults to fp32)::
       "description": "...",
       "expect": ["P001"],                      // codes that must fire
       "cluster": {"n_hosts": 4, "devices_per_host": 2,
+                  "memory_budget": 1048576,                // optional, bytes/host
                   "failure_domains": [                     // optional
                     {"name": "rack0", "hosts": [0, 1], "kind": "rack"}],
                   "topology": {"name": "fat_tree",         // optional
@@ -59,8 +60,8 @@ from ..core.plan import (
     ScatterOp,
     SendOp,
 )
-from ..core.slices import region_size
 from ..core.task import ReshardingTask
+from ..core.tensor import region_nbytes
 from ..scheduling.problem import Schedule
 from ..sim.cluster import Cluster, ClusterSpec, FailureDomain, LinkOverride
 from ..sim.topology import make_topology
@@ -82,13 +83,13 @@ def _region(raw: Any) -> tuple[tuple[int, int], ...]:
     return tuple((int(lo), int(hi)) for lo, hi in raw)
 
 
-def _op_from_dict(raw: dict[str, Any], itemsize: int) -> CommOp:
+def _op_from_dict(raw: dict[str, Any], dtype: np.dtype) -> CommOp:
     region = _region(raw["region"])
     common: dict[str, Any] = dict(
         op_id=int(raw["id"]),
         unit_task_id=int(raw.get("task", -1)),
         region=region,
-        nbytes=float(raw.get("nbytes", region_size(region) * itemsize)),
+        nbytes=float(raw.get("nbytes", region_nbytes(region, dtype))),
         deps=tuple(int(d) for d in raw.get("deps", ())),
     )
     kind = raw["kind"]
@@ -167,10 +168,9 @@ def plan_from_dict(raw: dict[str, Any]) -> CommPlan:
         granularity=str(raw.get("granularity", "intersection")),
         data_complete=bool(raw.get("data_complete", True)),
     )
-    itemsize = task.dtype.itemsize
     # Assign directly: fixtures must be able to express out-of-sequence
     # op ids, dangling deps, and forward deps that plan.add() rejects.
-    plan.ops = [_op_from_dict(op, itemsize) for op in raw.get("ops", ())]
+    plan.ops = [_op_from_dict(op, task.dtype) for op in raw.get("ops", ())]
     if "schedule" in raw:
         sched = raw["schedule"]
         plan.schedule = Schedule(

@@ -682,18 +682,27 @@ def check_plan(
     plan: CommPlan,
     deadlock: bool = True,
     faults: Optional[FaultSchedule] = None,
+    memory_budget: Optional[float] = None,
 ) -> AnalysisReport:
     """Statically analyze ``plan``; never raises on plan defects.
 
     Returns an :class:`AnalysisReport` whose ``ok`` is True iff the plan
     is provably well-formed: no write races, full coverage, sane deps,
     authorized senders, schedule-consistent (post-re-rooting) emission,
-    no wait-for cycle, and failure-domain-safe re-roots.  ``faults`` is
-    the schedule the plan was compiled against (if any): it sharpens the
-    F001 alternative-host analysis and enables F003.  Plans flagged
-    ``data_complete=False`` (signalling baselines) get structural checks
-    only.
+    no wait-for cycle, failure-domain-safe re-roots, and transient
+    buffers within budget.  ``faults`` is the schedule the plan was
+    compiled against (if any): it sharpens the F001 alternative-host
+    analysis and enables F003.  ``memory_budget`` (bytes per host)
+    overrides the cluster spec's own ``memory_budget`` for the M001
+    peak-buffer check; with neither set only M002 can fire.  Plans
+    flagged ``data_complete=False`` (signalling baselines) get
+    structural checks only.
     """
+    # Imported here, not at module scope: memory_analysis shares this
+    # package but is also imported by the compiler's select pass, and a
+    # top-level cross-import would make the package import order matter.
+    from .memory_analysis import check_plan_memory
+
     report = AnalysisReport(subject=f"plan[{plan.strategy}]")
     _check_structure(plan, report)
     _check_deps(plan, report)
@@ -702,6 +711,9 @@ def check_plan(
     _check_schedule_consistency(plan, unit_tasks, report)
     _check_failure_domains(plan, unit_tasks, faults, report)
     _check_topology(plan, report)
+    check_plan_memory(
+        plan, report, unit_tasks=unit_tasks, memory_budget=memory_budget
+    )
 
     if plan.data_complete:
         deliveries, coverage = _collect_deliveries(plan, report)

@@ -53,7 +53,7 @@ __all__ = [
 
 
 def _cluster_key(spec: ClusterSpec) -> tuple[object, ...]:
-    return (
+    key: tuple[object, ...] = (
         spec.n_hosts,
         spec.devices_per_host,
         spec.inter_host_bandwidth,
@@ -71,6 +71,11 @@ def _cluster_key(spec: ClusterSpec) -> tuple[object, ...]:
         repr(spec.topology),
         repr(spec.link_overrides),
     )
+    # Appended only when set so every signature of a budget-free spec is
+    # byte-identical to what it hashed to before budgets existed.
+    if spec.memory_budget is not None:
+        key += (("memory_budget", spec.memory_budget),)
+    return key
 
 
 def _faults_key(faults: Optional[FaultSchedule]) -> str:

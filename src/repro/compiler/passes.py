@@ -198,10 +198,15 @@ class SelectPass:
         faults = ctx.effective_faults(strategy)
         retry = ctx.effective_retry_policy(strategy)
         resim_cache = ctx.resolved_resim_cache()
+        memory_budget = ctx.effective_memory_budget(state.task)
+        if memory_budget is not None:
+            # Lazy for the same circularity reason as ValidatePass.
+            from ..analysis.memory_analysis import static_host_bounds
         sub_passes = [LowerPass(), SchedulePass(), FaultRewritePass(), EmitPass()]
-        best: Optional[tuple[bool, float, PlanState]] = None
+        best: Optional[tuple[bool, bool, float, PlanState]] = None
         state.scores = []
         skipped: list[str] = []
+        mem_peaks: dict[str, float] = {}
         for cand in strategy.candidates:
             if not cand.supports(state.task):
                 # e.g. switch multicast on a switchless torus: scoring a
@@ -226,17 +231,35 @@ class SelectPass:
                 # simulating a candidate costs roughly its op count
                 ctx.budget.charge(max(1, sub.n_ops) * 8, "select")
             fatal = result.fault_report is not None and result.fault_report.fatal
+            infeasible = False
+            if memory_budget is not None and sub.plan is not None:
+                peak = static_host_bounds(
+                    sub.plan, unit_tasks=sub.unit_tasks
+                ).peak
+                mem_peaks[cand.name] = peak
+                infeasible = peak > memory_budget
             state.scores.append((cand.name, result.total_time))
-            if best is None or (fatal, result.total_time) < best[:2]:
+            if best is None or (infeasible, fatal, result.total_time) < best[:3]:
                 sub.timing = result
-                best = (fatal, result.total_time, sub)
+                best = (infeasible, fatal, result.total_time, sub)
         if best is None:
             raise ValueError(
                 "no auto candidate supports this task on topology "
                 f"{state.task.cluster.topo.topology.name!r} "
                 f"(skipped: {skipped})"
             )
-        winner = best[2]
+        if best[0]:
+            # Even the lightest candidate busts the budget: the task is
+            # memory-infeasible as posed, not merely slow.
+            detail = ", ".join(
+                f"{name}={peak:.0f}B" for name, peak in sorted(mem_peaks.items())
+            )
+            raise PlanValidationError(
+                f"M003 error: memory budget infeasible — every candidate "
+                f"strategy's static peak-buffer bound exceeds memory_budget "
+                f"{memory_budget:.0f} B ({detail})"
+            )
+        winner = best[3]
         state.unit_tasks = winner.unit_tasks
         state.problem = winner.problem
         state.schedule = winner.schedule
@@ -253,7 +276,7 @@ class SelectPass:
                 bus.mark("select.candidate", track="compiler",
                          strategy=name, latency=latency)
             bus.mark("select.winner", track="compiler",
-                     strategy=winner.strategy.name, latency=best[1])
+                     strategy=winner.strategy.name, latency=best[2])
         return "scored " + ", ".join(
             f"{n}=skipped" if n in skipped else f"{n}={t:.4g}s"
             for n, t in state.scores
@@ -360,7 +383,9 @@ class ValidatePass:
         from ..analysis.plan_checker import check_plan
 
         report = check_plan(
-            state.plan, faults=ctx.effective_faults(state.strategy)
+            state.plan,
+            faults=ctx.effective_faults(state.strategy),
+            memory_budget=ctx.memory_budget,
         )
         state.analysis = report
         errors = report.errors

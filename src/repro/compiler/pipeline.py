@@ -145,6 +145,12 @@ class CompileContext:
     budget: Optional[CompileBudget] = None
     #: run the static coverage validator as the final pass
     validate: bool = False
+    #: per-host transient buffer budget (bytes) for this compile; when
+    #: ``None`` the task's :class:`~repro.sim.cluster.ClusterSpec`
+    #: ``memory_budget`` (if any) applies.  Feeds the cache signature
+    #: (only when set), the select pass's feasibility scoring (M003),
+    #: and the validate pass (M001).
+    memory_budget: Optional[float] = None
     #: pass names after which ``on_dump(name, state)`` fires
     dump_after: tuple[str, ...] = ()
     on_dump: Optional[Callable[[str, PlanState], None]] = None
@@ -172,6 +178,12 @@ class CompileContext:
 
             return default_resim_cache()
         return self.resim_cache
+
+    def effective_memory_budget(self, task: ReshardingTask) -> Optional[float]:
+        """The budget in force for ``task``: context override, else spec."""
+        if self.memory_budget is not None:
+            return self.memory_budget
+        return task.cluster.spec.memory_budget
 
     def effective_faults(self, strategy: CommStrategy) -> Optional[FaultSchedule]:
         if self.faults is not None:
@@ -261,6 +273,14 @@ def compile_resharding(
     if cache is not None:
         strategy_key = strategy.cache_key()
         if strategy_key is not None:
+            # A context-level budget override shapes the compile (select
+            # feasibility, validation), so it must shape the signature —
+            # folded in only when set, keeping budget-free signatures
+            # byte-identical to before.
+            if ctx.memory_budget is not None:
+                strategy_key = strategy_key + (
+                    ("memory_budget", ctx.memory_budget),
+                )
             epoch = cache.epoch
             signature = plan_signature(
                 task, strategy_key, faults, retry_policy, epoch=epoch

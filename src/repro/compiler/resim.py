@@ -112,6 +112,11 @@ class SimCheckpoint:
     op_done: frozenset[int]
     launched: frozenset[int]
     released: frozenset[int]
+    #: buffer-accounting state (see :mod:`repro.core.buffers`); live is
+    #: float residue only at a quiescent cut, but it must round-trip so
+    #: resumed peaks match a cold run's bit for bit
+    host_live: tuple[tuple[int, float], ...] = ()
+    host_peak: tuple[tuple[int, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -286,6 +291,8 @@ def _capture(
         op_done=frozenset(runner.op_done),
         launched=frozenset(runner.launched),
         released=frozenset(runner.released),
+        host_live=tuple(sorted(runner.host_live.items())),
+        host_peak=tuple(sorted(runner.host_peak.items())),
     )
 
 
@@ -311,6 +318,8 @@ def _restore(runner: PlanRunner, ckpt: SimCheckpoint) -> None:
     runner.op_done.update(ckpt.op_done)
     runner.launched.update(ckpt.launched)
     runner.released.update(ckpt.released)
+    runner.host_live.update(ckpt.host_live)
+    runner.host_peak.update(ckpt.host_peak)
     for tid, _finish in ckpt.task_finish:
         runner.tasks_pending_ops[tid] = 0
 

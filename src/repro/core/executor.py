@@ -25,6 +25,7 @@ from typing import Callable, Optional
 from ..runtime.telemetry import TelemetryBus
 from ..sim.faults import FaultReport, FaultSchedule, RetryPolicy
 from ..sim.network import Network
+from .buffers import op_host_buffers
 from ..sim.primitives import (
     CollectiveHandle,
     p2p,
@@ -81,6 +82,10 @@ class TimingResult:
     blocked_tasks: tuple[int, ...] = ()
     corrupted_ops: tuple[int, ...] = ()
     unverified_corruption: tuple[int, ...] = ()
+    #: per-host transient-buffer high-water marks (bytes), from the
+    #: runner's accounting — the ground truth the static analyzer's
+    #: bound (:mod:`repro.analysis.memory_analysis`) must dominate
+    host_peak_buffers: dict[int, float] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -151,6 +156,7 @@ class PlanRunner:
         faults: Optional[FaultSchedule] = None,
         retry_policy: Optional[RetryPolicy] = None,
         on_task_done: Optional[Callable[[int], None]] = None,
+        track_buffers: bool = False,
     ) -> None:
         if network is not None and faults is not None:
             raise ValueError("pass faults via the Network, not alongside one")
@@ -163,6 +169,11 @@ class PlanRunner:
         self.base_cross = self.net.bytes_cross_host
         self.base_intra = self.net.bytes_intra_host
         self.on_task_done = on_task_done
+        #: emit ``buffer_bytes`` gauges per host on the telemetry bus.
+        #: Opt-in: gauge samples enter the bus digest, so tracking must
+        #: not change the byte-identity of existing runs.  The plain
+        #: dict accounting below is always on (it never touches the bus).
+        self.track_buffers = track_buffers
 
         # ---- run state (copyable by checkpoints, preloadable on resume)
         self.op_finish: dict[int, float] = {}
@@ -173,6 +184,11 @@ class PlanRunner:
         self.op_launch: dict[int, float] = {}
         self.task_release: dict[int, float] = {}
         self.released: set[int] = set()
+        #: live transient buffer bytes per host (charged at op launch,
+        #: released at op completion — see :mod:`repro.core.buffers`)
+        self.host_live: dict[int, float] = {}
+        #: per-host high-water mark of ``host_live``
+        self.host_peak: dict[int, float] = {}
 
         # ---- schedule gating ---------------------------------------------
         # For each unit task, `task_preds[tid]` is the set of earlier-ordered
@@ -210,7 +226,36 @@ class PlanRunner:
             and (op.unit_task_id == -1 or op.unit_task_id in self.released)
         )
 
+    # ------------------------------------------------------------------
+    # Buffer accounting (the runtime side of the soundness invariant)
+    # ------------------------------------------------------------------
+    def _buffer_charge(self, op: CommOp) -> None:
+        """Charge the op's transient buffers; called at launch."""
+        for host, nbytes in sorted(op_host_buffers(self.net.cluster, op).items()):
+            live = self.host_live.get(host, 0.0) + nbytes
+            self.host_live[host] = live
+            if live > self.host_peak.get(host, 0.0):
+                self.host_peak[host] = live
+            if self.track_buffers:
+                self.net.bus.gauge("buffer_bytes", f"host{host}").add(
+                    nbytes, at=self.net.loop.now
+                )
+
+    def _buffer_release(self, op: CommOp, at: float) -> None:
+        """Release the op's buffers; called when the op completes.
+
+        Runs *before* any dependent op or gated successor task launches,
+        so a handoff at one instant never double-counts on the peak.
+        """
+        for host, nbytes in sorted(op_host_buffers(self.net.cluster, op).items()):
+            self.host_live[host] = self.host_live.get(host, 0.0) - nbytes
+            if self.track_buffers:
+                self.net.bus.gauge("buffer_bytes", f"host{host}").add(
+                    -nbytes, at=at
+                )
+
     def on_op_done(self, op: CommOp, handle: CollectiveHandle) -> None:
+        self._buffer_release(op, handle.finish_time)
         self.op_done.add(op.op_id)
         self.op_finish[op.op_id] = handle.finish_time
         if handle.failed:
@@ -255,6 +300,7 @@ class PlanRunner:
     def launch(self, op: CommOp) -> None:
         self.launched.add(op.op_id)
         self.op_launch[op.op_id] = self.net.loop.now
+        self._buffer_charge(op)
         if isinstance(op, (BroadcastOp, MulticastOp)) and not op.receivers:
             self.on_op_done(op, _immediate(self.net))
             return
@@ -374,6 +420,7 @@ class PlanRunner:
             blocked_tasks=tuple(sorted(blocked)),
             corrupted_ops=tuple(sorted(corrupted_ops)),
             unverified_corruption=tuple(sorted(unverified)),
+            host_peak_buffers=dict(self.host_peak),
         )
 
 
@@ -383,6 +430,7 @@ def simulate_plan(
     respect_schedule: bool = True,
     faults: Optional[FaultSchedule] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    track_buffers: bool = False,
 ) -> TimingResult:
     """Simulate ``plan``; returns latency and traffic statistics.
 
@@ -390,7 +438,10 @@ def simulate_plan(
     a lossy network; transfers are retried per the policy and the result
     carries a :class:`~repro.sim.faults.FaultReport`.  An op whose
     collective is abandoned is recorded in ``failed_ops`` instead of
-    deadlocking the simulation.
+    deadlocking the simulation.  ``track_buffers=True`` additionally
+    emits per-host ``buffer_bytes`` gauges on the telemetry bus (the
+    result's ``host_peak_buffers`` high-water marks are recorded either
+    way; only the gauge stream — and hence the bus digest — is opt-in).
     """
     return PlanRunner(
         plan,
@@ -398,6 +449,7 @@ def simulate_plan(
         respect_schedule=respect_schedule,
         faults=faults,
         retry_policy=retry_policy,
+        track_buffers=track_buffers,
     ).run()
 
 

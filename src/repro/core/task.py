@@ -21,8 +21,9 @@ from typing import Optional
 import numpy as np
 
 from .mesh import DeviceMesh
-from .slices import Region, TileGrid, region_intersection, region_size
+from .slices import Region, TileGrid, region_intersection
 from .spec import ShardingSpec, parse_spec
+from .tensor import nbytes_of, region_nbytes
 
 __all__ = ["UnitCommTask", "IntersectionTransfer", "ReshardingTask"]
 
@@ -103,7 +104,7 @@ class ReshardingTask:
         n = 1
         for s in self.shape:
             n *= s
-        return n * self.dtype.itemsize
+        return nbytes_of(n, self.dtype)
 
     # ------------------------------------------------------------------
     # Decompositions
@@ -145,7 +146,7 @@ class ReshardingTask:
                             region=region,
                             senders=senders,
                             receivers=receivers,
-                            nbytes=region_size(region) * self.dtype.itemsize,
+                            nbytes=region_nbytes(region, self.dtype),
                         )
                     )
             else:
@@ -186,7 +187,7 @@ class ReshardingTask:
                             region=inter,
                             senders=senders,
                             receivers=receivers,
-                            nbytes=region_size(inter) * self.dtype.itemsize,
+                            nbytes=region_nbytes(inter, self.dtype),
                         )
                     )
             self._intersections = out

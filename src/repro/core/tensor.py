@@ -14,10 +14,27 @@ from typing import Mapping
 import numpy as np
 
 from .mesh import DeviceMesh
-from .slices import Region, TileGrid, region_shape
+from .slices import Region, TileGrid, region_shape, region_size
 from .spec import ShardingSpec, parse_spec
 
-__all__ = ["DistributedTensor", "read_region"]
+__all__ = ["DistributedTensor", "read_region", "nbytes_of", "region_nbytes"]
+
+
+def nbytes_of(n_elements: int, dtype: "np.dtype") -> int:
+    """Bytes occupied by ``n_elements`` values of ``dtype``.
+
+    The single source of truth for sizeof math: every byte count in the
+    repo derives from here (or :func:`region_nbytes`), so dtype handling
+    cannot silently diverge between the planner, the analyzers, and the
+    fixture loader.  Raw ``count * itemsize`` arithmetic anywhere else
+    is rejected by repro-lint rule L004.
+    """
+    return int(n_elements) * np.dtype(dtype).itemsize
+
+
+def region_nbytes(region: Region, dtype: "np.dtype") -> int:
+    """Bytes occupied by one ``dtype`` tensor region."""
+    return nbytes_of(region_size(region), dtype)
 
 
 def _region_slices(region: Region) -> tuple[slice, ...]:

@@ -24,6 +24,13 @@ invariants checked on every run:
    the fault schedule, so F001/F003 are armed) finds no ERROR in any
    plan the compiler emits, including the re-anchored "replan view"
    compiled after the first permanent failure.
+5. **Memory soundness** — the static per-host peak-buffer bound
+   (:func:`~repro.analysis.memory_analysis.static_host_bounds`)
+   dominates the simulated high-water mark
+   (``TimingResult.host_peak_buffers``) on every host of every run.
+   The bound is only useful as an admission gate if nothing the
+   simulator can do — retries, stragglers, reordering under faults —
+   ever pushes real usage above it.
 
 Failing schedules are **shrunk** to a minimal reproducer: events are
 removed one at a time while the violation persists, so the saved
@@ -32,7 +39,10 @@ fixture names the one fault (or minimal combination) that matters.
 ``break_reroot=True`` compiles with a deliberately broken re-root pass
 (spliced after the real one) that lands fallbacks back inside the
 failed host's domain — the self-test proving the fuzzer and the F001
-analyzer both catch a real regression.
+analyzer both catch a real regression.  ``break_memory=True`` simulates
+with a deliberately leaky buffer accountant
+(:class:`LeakyBufferRunner`) so observed peaks climb past the static
+bound — the self-test proving the memory-sound invariant has teeth.
 
 Entry points: :func:`run_fuzz` (library), ``python -m repro fuzz``
 (CLI), ``tests/fuzz/`` (pytest), ``benchmarks/bench_fuzz.py`` (persisted
@@ -54,7 +64,7 @@ import numpy as np
 from .analysis.plan_checker import check_plan
 from .compiler import CompileContext, compile_resharding
 from .compiler.passes import DEFAULT_PASSES, FaultRewritePass, PlanState
-from .core.executor import TimingResult, simulate_plan
+from .core.executor import PlanRunner, TimingResult, simulate_plan
 from .core.mesh import DeviceMesh
 from .core.plan import CommPlan
 from .core.task import ReshardingTask
@@ -82,6 +92,7 @@ __all__ = [
     "schedule_to_json",
     "schedule_from_json",
     "BrokenRerootPass",
+    "LeakyBufferRunner",
 ]
 
 #: virtual seconds past the schedule horizon before a run counts as hung
@@ -331,6 +342,33 @@ def _passes(break_reroot: bool) -> list[Any]:
     return passes
 
 
+class LeakyBufferRunner(PlanRunner):
+    """Deliberately leaky buffer accounting: charge, never release.
+
+    With releases gone, a host's observed "live" bytes are the running
+    sum of everything ever delivered to it, so on any multi-op host the
+    high-water mark climbs past the serialization-based static bound —
+    exactly the accounting drift the memory-sound invariant exists to
+    catch.  Used only by ``run_fuzz(break_memory=True)``.  The leak
+    touches only the accounting dicts (never the telemetry bus), so
+    replay determinism is unaffected.
+    """
+
+    def _buffer_release(self, op: Any, at: float) -> None:
+        pass
+
+
+def _simulate(
+    plan: CommPlan, faults: FaultSchedule, break_memory: bool
+) -> TimingResult:
+    """Simulate with the real or (self-test) leaky buffer accountant."""
+    if break_memory:
+        return LeakyBufferRunner(
+            plan, faults=faults, retry_policy=RetryPolicy()
+        ).run()
+    return simulate_plan(plan, faults=faults, retry_policy=RetryPolicy())
+
+
 # ----------------------------------------------------------------------
 # One run
 # ----------------------------------------------------------------------
@@ -424,7 +462,11 @@ def _check_invariants(
     timing: TimingResult,
     phase: str,
 ) -> list[tuple[str, str]]:
-    """Invariants 1, 2, and 4 for one simulated plan."""
+    """Invariants 1, 2, 4, and 5 for one simulated plan."""
+    from .analysis.memory_analysis import (
+        SOUNDNESS_SLACK_BYTES,
+        static_host_bounds,
+    )
     from .core.verify_data import verify_delivery
 
     found: list[tuple[str, str]] = []
@@ -468,6 +510,19 @@ def _check_invariants(
                 f"{phase}: " + "; ".join(d.format() for d in analysis.errors),
             )
         )
+
+    mem = static_host_bounds(plan)
+    for host, observed in sorted(timing.host_peak_buffers.items()):
+        bound = mem.per_host.get(host, 0.0)
+        if observed > bound + SOUNDNESS_SLACK_BYTES:
+            found.append(
+                (
+                    "memory-sound",
+                    f"{phase}: host {host} simulated peak buffer "
+                    f"{observed:.0f} B exceeds the static bound "
+                    f"{bound:.0f} B",
+                )
+            )
     return found
 
 
@@ -475,6 +530,7 @@ def run_one(
     workload: FuzzWorkload,
     schedule: FaultSchedule,
     break_reroot: bool = False,
+    break_memory: bool = False,
 ) -> tuple[list[tuple[str, str]], str, dict[str, int]]:
     """Fuzz one (workload, schedule) pair.
 
@@ -502,9 +558,7 @@ def run_one(
     # Phase A: steady state — compile at t=0, run under the schedule.
     try:
         plan = _compile(workload, schedule, break_reroot)
-        timing = simulate_plan(
-            plan, faults=schedule, retry_policy=RetryPolicy()
-        )
+        timing = _simulate(plan, schedule, break_memory)
     except Exception as exc:  # crash = violation, never acceptable
         return (
             [("no-crash", f"steady: {type(exc).__name__}: {exc}")],
@@ -518,9 +572,7 @@ def run_one(
     # Invariant 3: byte-deterministic replay of the same run.
     try:
         plan2 = _compile(workload, schedule, break_reroot)
-        timing2 = simulate_plan(
-            plan2, faults=schedule, retry_policy=RetryPolicy()
-        )
+        timing2 = _simulate(plan2, schedule, break_memory)
         if timing2.telemetry.digest() != digest:
             found.append(
                 (
@@ -541,9 +593,7 @@ def run_one(
         faults_now = schedule.shifted(strike.time)
         try:
             plan_b = _compile(workload, faults_now, break_reroot)
-            timing_b = simulate_plan(
-                plan_b, faults=faults_now, retry_policy=RetryPolicy()
-            )
+            timing_b = _simulate(plan_b, faults_now, break_memory)
         except Exception as exc:
             found.append(("no-crash", f"replan: {type(exc).__name__}: {exc}"))
         else:
@@ -655,6 +705,7 @@ def run_fuzz(
     seed: int = 0,
     workloads: Optional[list[FuzzWorkload]] = None,
     break_reroot: bool = False,
+    break_memory: bool = False,
     shrink: bool = True,
     save_repros_dir: Optional[Union[str, Path]] = None,
 ) -> FuzzStats:
@@ -676,7 +727,9 @@ def run_fuzz(
         schedule = _generate_schedule(seed, index, workload)
         stats.runs += 1
         stats.events_injected += _n_events(schedule)
-        found, digest, counters = run_one(workload, schedule, break_reroot)
+        found, digest, counters = run_one(
+            workload, schedule, break_reroot, break_memory
+        )
         h.update(digest.encode())
         for key, value in counters.items():
             setattr(stats, key, getattr(stats, key) + value)
@@ -687,11 +740,11 @@ def run_fuzz(
             invariants = {inv for inv, _ in found}
 
             def still_fails(cand: FaultSchedule) -> bool:
-                got, _, _ = run_one(workload, cand, break_reroot)
+                got, _, _ = run_one(workload, cand, break_reroot, break_memory)
                 return any(inv in invariants for inv, _ in got)
 
             minimal = shrink_schedule(schedule, still_fails)
-            found, _, _ = run_one(workload, minimal, break_reroot)
+            found, _, _ = run_one(workload, minimal, break_reroot, break_memory)
         for invariant, detail in found:
             stats.violations.append(
                 FuzzViolation(

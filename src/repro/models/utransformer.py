@@ -232,6 +232,7 @@ def build_utransformer(
         # fp32 Adam: param + grad + m + v, replicated across dp ranks
         params_bytes = params * 16.0
         act_bytes = sum(
+            # repro-lint: allow[L004] model-card estimate, not a plan byte count
             m.out_channels * m.out_spatial**2 * (cfg.micro_batch // cfg.dp) * itemsize
             for m in group
         )
@@ -280,6 +281,7 @@ def build_utransformer(
 
     total_fwd = sum(m.flops_fwd for m in mods)
     epilogue = ring_allreduce_time(
+        # repro-lint: allow[L004] model-card estimate, not a plan byte count
         sum(m.params for m in mods) / 2 * itemsize,  # per-stage grads, rough
         cfg.dp,
         cluster.spec.intra_host_bandwidth,

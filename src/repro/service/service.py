@@ -385,6 +385,10 @@ class ReshardingService:
                 # breaker alone (the compiler worked correctly).
                 self.breaker.record_success(self._now())
                 self._count("service.invalid", self._now())
+                if "M0" in str(invalid):
+                    # Budget rejections get their own counter so capacity
+                    # dashboards can tell "bad plan" from "plan too big".
+                    self._count("service.invalid.memory_budget", self._now())
                 done_at = self._now()
                 for handle in self._live_handles(entry):
                     self._resolve(
@@ -467,6 +471,11 @@ class ReshardingService:
                     strategy=entry.strategy,
                     deadline=request.deadline,
                     cache=self.cache,
+                    # A budget-carrying task must be admission-checked:
+                    # validate so an over-budget plan surfaces as a
+                    # structured "invalid" (M001/M003), never as a
+                    # breaker-counted failure.
+                    validate=request.task.cluster.spec.memory_budget is not None,
                 )
             compiled = compile_resharding(request.task, ctx)
         finally:

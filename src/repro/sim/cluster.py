@@ -165,6 +165,9 @@ class ClusterSpec:
     topology: Optional[Topology] = None
     #: per-host-pair bandwidth/latency deviations (heterogeneous links)
     link_overrides: tuple[LinkOverride, ...] = ()
+    #: transient resharding-buffer budget, bytes per host; ``None``
+    #: disables the M001/M003 peak-memory planning constraint entirely
+    memory_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
@@ -248,6 +251,13 @@ class ClusterSpec:
                     f"{pair[0]}<->{pair[1]}"
                 )
             pairs.add(pair)
+        if self.memory_budget is not None and not (
+            self.memory_budget > 0 and self.memory_budget != float("inf")
+        ):
+            raise ValueError(
+                f"memory_budget must be a positive finite number of bytes "
+                f"per host (or None to disable), got {self.memory_budget}"
+            )
 
     @property
     def n_devices(self) -> int:
